@@ -1,0 +1,221 @@
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Each benchmark regenerates one table or figure of the paper's
+// evaluation via internal/experiments and reports headline numbers as
+// benchmark metrics. Run a single figure with e.g.
+//
+//	go test -bench=BenchmarkFig4 -benchtime=1x
+//
+// The custom metrics (gbps, pct, …) carry the reproduced values so a
+// bench run doubles as a results table.
+
+// benchRun executes an experiment runner b.N times and reports the
+// metrics extracted from the last result.
+func benchRun(b *testing.B, id string, metrics func(r *experiments.Result, b *testing.B)) {
+	b.Helper()
+	runner, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := runner.Run(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if metrics != nil && last != nil {
+		metrics(last, b)
+	}
+	if last != nil {
+		b.Logf("\n%s", last.String())
+	}
+}
+
+// cell parses a numeric table cell for metric reporting (best effort:
+// returns 0 on non-numeric cells, strips %/x suffixes).
+func cell(r *experiments.Result, row, col int) float64 {
+	if row >= len(r.Rows) || col >= len(r.Rows[row]) {
+		return 0
+	}
+	s := strings.TrimSuffix(strings.TrimSuffix(r.Rows[row][col], "%"), "x")
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BenchmarkTable1TestbedSpecs regenerates Table 1 (testbed
+// specifications plus probed capacities).
+func BenchmarkTable1TestbedSpecs(b *testing.B) {
+	benchRun(b, "table1", func(r *experiments.Result, b *testing.B) {
+		b.ReportMetric(float64(len(r.Rows)), "testbeds")
+	})
+}
+
+// BenchmarkFig1aConcurrencyImpact regenerates Figure 1(a): throughput
+// vs concurrency on HPCLab and XSEDE.
+func BenchmarkFig1aConcurrencyImpact(b *testing.B) {
+	benchRun(b, "fig1a", func(r *experiments.Result, b *testing.B) {
+		b.ReportMetric(cell(r, 0, 1), "hpclab_cc1_gbps")
+		b.ReportMetric(cell(r, len(r.Rows)-1, 1), "hpclab_cc32_gbps")
+	})
+}
+
+// BenchmarkFig1bOptimalConcurrency regenerates Figure 1(b): the optimal
+// concurrency per environment.
+func BenchmarkFig1bOptimalConcurrency(b *testing.B) {
+	benchRun(b, "fig1b", nil)
+}
+
+// BenchmarkFig2aStateOfTheArt regenerates Figure 2(a): Globus and HARP
+// single-transfer throughput on a fast network.
+func BenchmarkFig2aStateOfTheArt(b *testing.B) {
+	benchRun(b, "fig2a", func(r *experiments.Result, b *testing.B) {
+		b.ReportMetric(cell(r, 0, 1), "globus_gbps")
+		b.ReportMetric(cell(r, 1, 1), "harp_gbps")
+	})
+}
+
+// BenchmarkFig2bHARPUnfairness regenerates Figure 2(b): the HARP
+// late-comer advantage.
+func BenchmarkFig2bHARPUnfairness(b *testing.B) {
+	benchRun(b, "fig2b", func(r *experiments.Result, b *testing.B) {
+		first, second := cell(r, 0, 1), cell(r, 1, 1)
+		if first > 0 {
+			b.ReportMetric(second/first, "latecomer_ratio")
+		}
+	})
+}
+
+// BenchmarkFig4LossVsConcurrency regenerates Figure 4: throughput and
+// packet loss vs concurrency on the Emulab topology.
+func BenchmarkFig4LossVsConcurrency(b *testing.B) {
+	benchRun(b, "fig4", func(r *experiments.Result, b *testing.B) {
+		b.ReportMetric(cell(r, len(r.Rows)-1, 2), "loss_at_cc32_pct")
+	})
+}
+
+// BenchmarkFig6aUtilityCurves regenerates Figure 6(a): analytic utility
+// peaks under linear vs nonlinear regret.
+func BenchmarkFig6aUtilityCurves(b *testing.B) {
+	benchRun(b, "fig6a", func(r *experiments.Result, b *testing.B) {
+		b.ReportMetric(cell(r, 1, 1), "linear002_peak_cc")
+		b.ReportMetric(cell(r, 2, 1), "nonlinear_peak_cc")
+	})
+}
+
+// BenchmarkFig6bLinearVsNonlinear regenerates Figure 6(b): empirical
+// convergence under each utility form.
+func BenchmarkFig6bLinearVsNonlinear(b *testing.B) {
+	benchRun(b, "fig6b", nil)
+}
+
+// BenchmarkFig6cLinearCompetition regenerates Figure 6(c): linear
+// regret's overshoot under competition.
+func BenchmarkFig6cLinearCompetition(b *testing.B) {
+	benchRun(b, "fig6c", nil)
+}
+
+// BenchmarkFig7ConvergenceSpeed regenerates Figure 7: HC vs GD vs BO
+// convergence to the 48-optimum.
+func BenchmarkFig7ConvergenceSpeed(b *testing.B) {
+	benchRun(b, "fig7", func(r *experiments.Result, b *testing.B) {
+		b.ReportMetric(cell(r, 0, 1), "hc_reach_s")
+		b.ReportMetric(cell(r, 1, 1), "gd_reach_s")
+		b.ReportMetric(cell(r, 2, 1), "bo_reach_s")
+	})
+}
+
+// BenchmarkFig8HillClimbingCompeting regenerates Figure 8: competing
+// transfers under Hill Climbing vs Gradient Descent.
+func BenchmarkFig8HillClimbingCompeting(b *testing.B) {
+	benchRun(b, "fig8", nil)
+}
+
+// BenchmarkFig9GDAllNetworks regenerates Figure 9: Falcon-GD in all
+// four networks.
+func BenchmarkFig9GDAllNetworks(b *testing.B) {
+	benchRun(b, "fig9", nil)
+}
+
+// BenchmarkFig10BOAllNetworks regenerates Figure 10: Falcon-BO in all
+// four networks.
+func BenchmarkFig10BOAllNetworks(b *testing.B) {
+	benchRun(b, "fig10", nil)
+}
+
+// BenchmarkFig11GDCompeting regenerates Figure 11: Falcon-GD stability
+// under competition.
+func BenchmarkFig11GDCompeting(b *testing.B) {
+	benchRun(b, "fig11", nil)
+}
+
+// BenchmarkFig12BOCompeting regenerates Figure 12: Falcon-BO stability
+// under competition.
+func BenchmarkFig12BOCompeting(b *testing.B) {
+	benchRun(b, "fig12", nil)
+}
+
+// BenchmarkFig13ConcurrencyAdaptation regenerates Figure 13: Falcon-GD
+// concurrency adaptation as agents join and leave.
+func BenchmarkFig13ConcurrencyAdaptation(b *testing.B) {
+	benchRun(b, "fig13", nil)
+}
+
+// BenchmarkFig14StateOfTheArtComparison regenerates Figure 14: Falcon
+// vs Globus vs HARP on three networks.
+func BenchmarkFig14StateOfTheArtComparison(b *testing.B) {
+	benchRun(b, "fig14", nil)
+}
+
+// BenchmarkFig15MultiParameter regenerates Figure 15: single- vs
+// multi-parameter Falcon on the WAN datasets.
+func BenchmarkFig15MultiParameter(b *testing.B) {
+	benchRun(b, "fig15", nil)
+}
+
+// BenchmarkFig16Friendliness regenerates Figure 16: Falcon's impact on
+// Globus and HARP transfers.
+func BenchmarkFig16Friendliness(b *testing.B) {
+	benchRun(b, "fig16", nil)
+}
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationK sweeps the concurrency-regret base K (§3.1).
+func BenchmarkAblationK(b *testing.B) { benchRun(b, "abl-k", nil) }
+
+// BenchmarkAblationB sweeps the loss-regret coefficient B (§3.1).
+func BenchmarkAblationB(b *testing.B) { benchRun(b, "abl-b", nil) }
+
+// BenchmarkAblationInterval sweeps the sample-transfer duration (§3.2).
+func BenchmarkAblationInterval(b *testing.B) { benchRun(b, "abl-interval", nil) }
+
+// BenchmarkAblationWindow sweeps BO's observation window (§3.2).
+func BenchmarkAblationWindow(b *testing.B) { benchRun(b, "abl-window", nil) }
+
+// BenchmarkAblationWarmup toggles measurement warm-up exclusion (§3).
+func BenchmarkAblationWarmup(b *testing.B) { benchRun(b, "abl-warmup", nil) }
+
+// BenchmarkAblationBBR compares congestion-control models (§6).
+func BenchmarkAblationBBR(b *testing.B) { benchRun(b, "abl-bbr", nil) }
+
+// BenchmarkAblationDynamics measures adaptation to background traffic (§1).
+func BenchmarkAblationDynamics(b *testing.B) { benchRun(b, "abl-dynamics", nil) }
+
+// BenchmarkAblationSearch races all five search algorithms (§5).
+func BenchmarkAblationSearch(b *testing.B) { benchRun(b, "abl-search", nil) }
+
+// BenchmarkAblationNoise sweeps measurement noise (§4.6).
+func BenchmarkAblationNoise(b *testing.B) { benchRun(b, "abl-noise", nil) }

@@ -1,0 +1,153 @@
+// Command falconsim runs one transfer-optimization scenario on a
+// simulated testbed and prints the timeline: per-agent throughput,
+// concurrency, and loss at each decision epoch.
+//
+// Usage:
+//
+//	falconsim [-testbed NAME] [-algo gd|bo|hc|globus|harp|fixed:N]
+//	          [-agents N] [-stagger SECONDS] [-duration SECONDS]
+//	          [-seed N] [-chart]
+//
+// Examples:
+//
+//	falconsim -testbed emulab -algo gd
+//	falconsim -testbed hpclab -algo bo -agents 3 -stagger 120
+//	falconsim -testbed emulab-1g -algo fixed:48 -duration 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/transfer"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "falconsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func pickTestbed(name string) (testbed.Config, bool) {
+	switch name {
+	case "emulab":
+		return testbed.Emulab(10e6), true
+	case "emulab-1g":
+		return testbed.EmulabGigabit(20.83e6), true
+	case "xsede":
+		return testbed.XSEDE(), true
+	case "hpclab":
+		return testbed.HPCLab(), true
+	case "campus":
+		return testbed.CampusCluster(), true
+	case "wan":
+		return testbed.StampedeCometWAN(), true
+	default:
+		return testbed.Config{}, false
+	}
+}
+
+func makeController(algo string, maxN int, seed int64) (testbed.Controller, transfer.Setting, error) {
+	initial := transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1}
+	switch {
+	case algo == "gd" || algo == "bo" || algo == "hc":
+		a, err := core.NewAgentByName(algo, maxN, seed)
+		return a, initial, err
+	case algo == "globus":
+		g, err := baselines.NewGlobus(dataset.Main())
+		if err != nil {
+			return nil, initial, err
+		}
+		return g, g.Setting(), nil
+	case algo == "harp":
+		h, err := baselines.NewHARP(baselines.SyntheticHistory(1.2e9, 9.5e9, 16), maxN)
+		if err != nil {
+			return nil, initial, err
+		}
+		return h, h.Setting(), nil
+	case strings.HasPrefix(algo, "fixed:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(algo, "fixed:"))
+		if err != nil || n < 1 {
+			return nil, initial, fmt.Errorf("bad fixed concurrency %q", algo)
+		}
+		s := transfer.Setting{Concurrency: n, Parallelism: 1, Pipelining: 1}
+		return testbed.FixedController{S: s}, s, nil
+	default:
+		return nil, initial, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func main() {
+	tbName := flag.String("testbed", "emulab", "testbed: emulab, emulab-1g, xsede, hpclab, campus, wan")
+	algo := flag.String("algo", "gd", "controller: gd, bo, hc, globus, harp, fixed:N")
+	agents := flag.Int("agents", 1, "number of competing transfer tasks")
+	stagger := flag.Float64("stagger", 120, "seconds between agent joins")
+	duration := flag.Float64("duration", 300, "simulated seconds")
+	seed := flag.Int64("seed", 1, "random seed")
+	maxN := flag.Int("maxcc", 64, "search-space upper bound for concurrency")
+	chart := flag.Bool("chart", true, "print ASCII charts")
+	flag.Parse()
+
+	cfg, ok := pickTestbed(*tbName)
+	if !ok {
+		fail("unknown testbed %q", *tbName)
+	}
+	if *agents < 1 {
+		fail("need at least one agent")
+	}
+
+	eng, err := testbed.NewEngine(cfg, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+	sched := testbed.NewScheduler(eng, 1)
+	sched.SetLogf(func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	for i := 0; i < *agents; i++ {
+		ctrl, initial, err := makeController(*algo, *maxN, *seed+int64(i))
+		if err != nil {
+			fail("%v", err)
+		}
+		id := fmt.Sprintf("agent%d", i+1)
+		task, err := transfer.NewTask(id, dataset.Uniform(id, 20000, int64(dataset.GB)), initial)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := sched.Add(testbed.Participant{
+			Task: task, Controller: ctrl, JoinAt: float64(i) * *stagger,
+		}); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	tl := sched.Run(*duration, 0.25)
+
+	fmt.Printf("\n%s on %s, %d agent(s), %.0fs\n", *algo, cfg.Name, *agents, *duration)
+	fmt.Printf("%-10s %-18s %-14s\n", "agent", "mean Gbps (2nd half)", "mean cc")
+	var shares []float64
+	for i := 0; i < *agents; i++ {
+		id := fmt.Sprintf("agent%d", i+1)
+		tput := tl.MeanThroughputGbps(id, *duration/2, *duration)
+		shares = append(shares, tput)
+		cc := 0.0
+		if s := tl.Concurrency.Lookup(id); s != nil {
+			cc = s.MeanAfter(*duration / 2)
+		}
+		fmt.Printf("%-10s %-18.3f %-14.1f\n", id, tput, cc)
+	}
+	if *agents > 1 {
+		fmt.Printf("Jain fairness index: %.3f\n", stats.JainIndex(shares))
+	}
+	if *chart {
+		fmt.Printf("\nthroughput (Gbps):\n%s", tl.Throughput.ASCIIChart(72, 12))
+		fmt.Printf("\nconcurrency:\n%s", tl.Concurrency.ASCIIChart(72, 12))
+	}
+}

@@ -1,0 +1,35 @@
+// Command falconweb serves the Falcon scenario web service (the
+// paper's §6 "cloud-based web service" future work): submit transfer-
+// optimization scenarios over HTTP, poll JSON results, and fetch SVG
+// timelines.
+//
+//	falconweb -addr :8080
+//	curl -X POST localhost:8080/api/scenarios \
+//	     -d '{"testbed":"hpclab","algorithm":"gd","agents":3}'
+//	curl localhost:8080/api/scenarios/s0001
+//	open localhost:8080/api/scenarios/s0001/throughput.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/webservice"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	svc := webservice.New()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("falconweb: listening on http://%s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

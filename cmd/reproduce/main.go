@@ -1,0 +1,119 @@
+// Command reproduce regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	reproduce [-seed N] [-csv DIR] [-chart] [ids...]
+//
+// With no ids, every experiment runs in paper order. Pass experiment
+// ids (table1, fig1a, … fig16) to run a subset. -csv writes each
+// experiment's charts as CSV files into DIR for external plotting;
+// -chart prints compact ASCII charts of the timeline figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base random seed for all experiments")
+	csvDir := flag.String("csv", "", "directory to write chart CSVs into")
+	svgDir := flag.String("svg", "", "directory to write SVG charts into")
+	chart := flag.Bool("chart", false, "print ASCII charts for timeline figures")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	runners := experiments.All()
+	if ids := flag.Args(); len(ids) > 0 {
+		runners = runners[:0]
+		for _, id := range ids {
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "reproduce: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, dir := range []string{*csvDir, *svgDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		fmt.Printf("running %s (%s)...\n", r.ID, r.Name)
+		res, err := r.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		chartNames := make([]string, 0, len(res.Charts))
+		for name := range res.Charts {
+			chartNames = append(chartNames, name)
+		}
+		sort.Strings(chartNames)
+		for _, name := range chartNames {
+			ts := res.Charts[name]
+			if *chart {
+				fmt.Printf("-- %s/%s --\n%s", res.ID, name, ts.ASCIIChart(72, 12))
+			}
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s-%s.csv", res.ID, name))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+					failed++
+					continue
+				}
+				if err := ts.WriteCSV(f); err != nil {
+					fmt.Fprintf(os.Stderr, "reproduce: write %s: %v\n", path, err)
+					failed++
+				}
+				f.Close()
+			}
+			if *svgDir != "" {
+				path := filepath.Join(*svgDir, fmt.Sprintf("%s-%s.svg", res.ID, name))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+					failed++
+					continue
+				}
+				if err := ts.WriteSVG(f, 720, 320, fmt.Sprintf("%s %s", res.ID, name)); err != nil {
+					fmt.Fprintf(os.Stderr, "reproduce: write %s: %v\n", path, err)
+					failed++
+				}
+				f.Close()
+			}
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

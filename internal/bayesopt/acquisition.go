@@ -1,0 +1,67 @@
+package bayesopt
+
+import "math"
+
+// Acquisition scores a candidate point from its posterior mean and
+// standard deviation and the best utility observed so far. Higher is
+// better.
+type Acquisition interface {
+	Score(mean, std, best float64) float64
+	Name() string
+}
+
+// normPDF and normCDF are the standard normal density and distribution.
+func normPDF(z float64) float64 { return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi) }
+func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// EI is Expected Improvement with an exploration margin Xi.
+type EI struct{ Xi float64 }
+
+// Name implements Acquisition.
+func (EI) Name() string { return "ei" }
+
+// Score implements Acquisition.
+func (a EI) Score(mean, std, best float64) float64 {
+	if std <= 0 {
+		if d := mean - best - a.Xi; d > 0 {
+			return d
+		}
+		return 0
+	}
+	d := mean - best - a.Xi
+	z := d / std
+	return d*normCDF(z) + std*normPDF(z)
+}
+
+// PI is Probability of Improvement with an exploration margin Xi.
+type PI struct{ Xi float64 }
+
+// Name implements Acquisition.
+func (PI) Name() string { return "pi" }
+
+// Score implements Acquisition.
+func (a PI) Score(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean > best+a.Xi {
+			return 1
+		}
+		return 0
+	}
+	return normCDF((mean - best - a.Xi) / std)
+}
+
+// UCB is the Upper Confidence Bound acquisition with exploration
+// weight Kappa.
+type UCB struct{ Kappa float64 }
+
+// Name implements Acquisition.
+func (UCB) Name() string { return "ucb" }
+
+// Score implements Acquisition.
+func (a UCB) Score(mean, std, _ float64) float64 { return mean + a.Kappa*std }
+
+// DefaultPortfolio returns the acquisition set used by GP-Hedge: EI and
+// PI with small margins plus UCB at two exploration weights.
+func DefaultPortfolio() []Acquisition {
+	return []Acquisition{EI{Xi: 0.01}, PI{Xi: 0.01}, UCB{Kappa: 1.0}, UCB{Kappa: 2.5}}
+}

@@ -1,0 +1,56 @@
+package bayesopt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/optimizer"
+)
+
+// BenchmarkGPFitWindow20 measures the cost of refitting the surrogate
+// at the paper's 20-observation cap — the bound that keeps Gaussian
+// Process processing "in the order of milliseconds" (§3.2).
+func BenchmarkGPFitWindow20(b *testing.B) {
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = math.Sin(float64(i) / 3)
+	}
+	gp := NewGP(4, 1, 0.02)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := gp.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPPredict measures a single posterior evaluation.
+func BenchmarkGPPredict(b *testing.B) {
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = math.Sin(float64(i) / 3)
+	}
+	gp := NewGP(4, 1, 0.02)
+	if err := gp.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gp.Predict(float64(i%32) + 0.5)
+	}
+}
+
+// BenchmarkSearchNext measures one full BO decision: window update, GP
+// refit, portfolio proposal over a 64-point grid.
+func BenchmarkSearchNext(b *testing.B) {
+	s := New(64, 1)
+	n := 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n = s.Next(optimizer.Observation{N: n, Utility: float64(n % 13)})
+	}
+}

@@ -1,0 +1,224 @@
+package bayesopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/optimizer"
+)
+
+// Search is Falcon's Bayesian Optimization concurrency searcher. It
+// satisfies optimizer.Search: every Next call folds the latest
+// observation into a sliding window, refits the GP surrogate, lets the
+// GP-Hedge portfolio pick an acquisition function, and proposes the
+// integer concurrency that maximises it.
+type Search struct {
+	// MaxN bounds the search space [1, MaxN].
+	MaxN int
+	// Window is the maximum number of past observations retained in
+	// the surrogate (the paper uses 20: cheap GP solves and forced
+	// re-exploration under drift).
+	Window int
+	// InitSamples is the length of the uniform random sampling phase
+	// (the paper uses 3).
+	InitSamples int
+
+	gp    *GP
+	hedge *Hedge
+	rng   *rand.Rand
+	xs    []float64
+	ys    []float64
+	seen  int
+}
+
+var _ optimizer.Search = (*Search)(nil)
+
+// New returns a BO searcher over [1, maxN] with the paper's defaults
+// and a deterministic seed. It panics if maxN < 1.
+func New(maxN int, seed int64) *Search {
+	if maxN < 1 {
+		panic(fmt.Sprintf("bayesopt: maxN %d must be ≥ 1", maxN))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Length scale relative to the domain keeps the surrogate smooth
+	// without washing out the peak.
+	ls := float64(maxN) / 6
+	if ls < 1 {
+		ls = 1
+	}
+	return &Search{
+		MaxN:        maxN,
+		Window:      20,
+		InitSamples: 3,
+		gp:          NewGP(ls, 1.0, 0.02),
+		hedge:       NewHedge(DefaultPortfolio(), 0.5, rand.New(rand.NewSource(seed+1))),
+		rng:         rng,
+	}
+}
+
+// Name implements optimizer.Search.
+func (s *Search) Name() string { return "bayesian-optimization" }
+
+// Next implements optimizer.Search.
+func (s *Search) Next(obs optimizer.Observation) int {
+	s.observe(float64(obs.N), obs.Utility)
+	if s.seen < s.InitSamples {
+		// Uniform random sampling phase (uniform prior, no bias).
+		return 1 + s.rng.Intn(s.MaxN)
+	}
+	if err := s.fitWithModelSelection(); err != nil {
+		// Degenerate window (should not happen with noise+jitter):
+		// fall back to random exploration rather than halting.
+		return 1 + s.rng.Intn(s.MaxN)
+	}
+	best := math.Inf(-1)
+	for _, y := range s.ys {
+		if y > best {
+			best = y
+		}
+	}
+	// Standardised "best" consistent with Score inputs: Predict returns
+	// original units, so pass best in original units too.
+	n := s.hedge.Propose(s.gp, 1, s.MaxN, best)
+	return n
+}
+
+// fitWithModelSelection refits the surrogate, choosing the kernel
+// length scale by log marginal likelihood over a small grid — the
+// hyperparameter tuning §3.2 delegates to the BO layer. The grid stays
+// tiny (3 candidates over a ≤20-point window) so refits remain
+// milliseconds-cheap.
+func (s *Search) fitWithModelSelection() error {
+	base := float64(s.MaxN) / 6
+	if base < 1 {
+		base = 1
+	}
+	bestLML := math.Inf(-1)
+	bestLS := s.gp.LengthScale
+	fitted := false
+	for _, ls := range []float64{base / 2, base, base * 2} {
+		s.gp.LengthScale = ls
+		if err := s.gp.Fit(s.xs, s.ys); err != nil {
+			continue
+		}
+		if lml := s.gp.LogMarginalLikelihood(); lml > bestLML {
+			bestLML = lml
+			bestLS = ls
+		}
+		fitted = true
+	}
+	if !fitted {
+		return fmt.Errorf("bayesopt: no length scale produced a valid fit")
+	}
+	s.gp.LengthScale = bestLS
+	return s.gp.Fit(s.xs, s.ys)
+}
+
+// observe appends an observation, evicting the oldest beyond Window.
+func (s *Search) observe(x, y float64) {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return
+	}
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, y)
+	if len(s.xs) > s.Window {
+		s.xs = s.xs[1:]
+		s.ys = s.ys[1:]
+	}
+	s.seen++
+}
+
+// Observations returns copies of the current window (for tests and
+// diagnostics).
+func (s *Search) Observations() ([]float64, []float64) {
+	return append([]float64(nil), s.xs...), append([]float64(nil), s.ys...)
+}
+
+// Hedge is the GP-Hedge acquisition portfolio: each round every
+// acquisition nominates its argmax candidate; one nominee is drawn with
+// probability softmax(η·gains); afterwards every acquisition's gain is
+// incremented by the posterior mean at its own nominee. Exploration-
+// exploitation balance is thereby tuned online, as §3.2 describes.
+type Hedge struct {
+	acqs  []Acquisition
+	eta   float64
+	gains []float64
+	rng   *rand.Rand
+
+	// nominees of the current round, kept to update gains next round.
+	lastNominees []int
+	hasNominees  bool
+}
+
+// NewHedge builds a portfolio with learning rate eta. It panics on an
+// empty portfolio or non-positive eta.
+func NewHedge(acqs []Acquisition, eta float64, rng *rand.Rand) *Hedge {
+	if len(acqs) == 0 {
+		panic("bayesopt: empty acquisition portfolio")
+	}
+	if eta <= 0 {
+		panic(fmt.Sprintf("bayesopt: eta %v must be positive", eta))
+	}
+	return &Hedge{acqs: acqs, eta: eta, gains: make([]float64, len(acqs)), rng: rng}
+}
+
+// Propose returns the next integer point in [lo, hi] chosen by the
+// portfolio against the fitted GP.
+func (h *Hedge) Propose(gp *GP, lo, hi int, best float64) int {
+	// Update gains with the posterior means at last round's nominees —
+	// the Hedge reward signal, normalised by the observed utility scale
+	// so units cannot destabilise the weights.
+	scale := math.Abs(best)
+	if scale < 1e-12 {
+		scale = 1e-12
+	}
+	if h.hasNominees {
+		for i, x := range h.lastNominees {
+			mu, _ := gp.Predict(float64(x))
+			h.gains[i] += math.Tanh(mu / scale)
+		}
+	}
+
+	// Each acquisition nominates its argmax over the integer grid.
+	nominees := make([]int, len(h.acqs))
+	for i, a := range h.acqs {
+		bestScore := math.Inf(-1)
+		bestX := lo
+		for x := lo; x <= hi; x++ {
+			mu, sd := gp.Predict(float64(x))
+			if sc := a.Score(mu, sd, best); sc > bestScore {
+				bestScore, bestX = sc, x
+			}
+		}
+		nominees[i] = bestX
+	}
+	h.lastNominees = nominees
+	h.hasNominees = true
+
+	// Softmax draw over gains.
+	maxG := h.gains[0]
+	for _, g := range h.gains[1:] {
+		if g > maxG {
+			maxG = g
+		}
+	}
+	weights := make([]float64, len(h.gains))
+	sum := 0.0
+	for i, g := range h.gains {
+		w := math.Exp(h.eta * (g - maxG))
+		weights[i] = w
+		sum += w
+	}
+	r := h.rng.Float64() * sum
+	for i, w := range weights {
+		if r < w {
+			return nominees[i]
+		}
+		r -= w
+	}
+	return nominees[len(nominees)-1]
+}
+
+// Gains returns a copy of the portfolio gains (diagnostics).
+func (h *Hedge) Gains() []float64 { return append([]float64(nil), h.gains...) }

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/optimizer"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/transfer"
+	"repro/internal/utility"
+)
+
+func TestNewAgentValidation(t *testing.T) {
+	if _, err := NewAgent(nil, utility.DefaultParams()); err == nil {
+		t.Error("nil search accepted")
+	}
+	if _, err := NewAgent(optimizer.NewGradientDescent(10), utility.Params{K: 1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestNewAgentByName(t *testing.T) {
+	for _, algo := range []string{AlgoHillClimbing, AlgoGradient, AlgoBayesian} {
+		a, err := NewAgentByName(algo, 32, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if a.AlgorithmName() == "" {
+			t.Fatalf("%s: empty algorithm name", algo)
+		}
+	}
+	if _, err := NewAgentByName("nope", 32, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestSetFixedKnobs(t *testing.T) {
+	a := NewGDAgent(16)
+	if err := a.SetFixedKnobs(0, 1); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if err := a.SetFixedKnobs(1, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if err := a.SetFixedKnobs(4, 8); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Decide(transfer.Sample{
+		Setting:  transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1},
+		Duration: 3, Throughput: 1e9,
+	})
+	if s.Parallelism != 4 || s.Pipelining != 8 {
+		t.Fatalf("fixed knobs not applied: %+v", s)
+	}
+}
+
+func TestAgentRecordsHistory(t *testing.T) {
+	a := NewGDAgent(16)
+	for i := 0; i < 5; i++ {
+		a.Decide(transfer.Sample{
+			Setting:  transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1},
+			Duration: 3, Throughput: 1e9,
+		})
+	}
+	h := a.History()
+	if len(h) != 5 {
+		t.Fatalf("history length = %d, want 5", len(h))
+	}
+	if h[0].Utility == 0 {
+		t.Fatal("utility not recorded")
+	}
+	if h[0].Next < 1 || h[0].Next > 16 {
+		t.Fatalf("recorded next %d out of bounds", h[0].Next)
+	}
+}
+
+func TestNewMultiAgentValidation(t *testing.T) {
+	if _, err := NewMultiAgent(nil, utility.DefaultParams()); err == nil {
+		t.Error("nil search accepted")
+	}
+	if _, err := NewMultiAgent(optimizer.NewConjugateGD([]int{1, 1, 1}, []int{4, 4, 4}), utility.Params{K: 0.5}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestMultiAgentDecideShape(t *testing.T) {
+	m := NewDefaultMultiAgent(16, 8, 32)
+	s := m.Decide(transfer.Sample{
+		Setting:  transfer.Setting{Concurrency: 2, Parallelism: 2, Pipelining: 2},
+		Duration: 5, Throughput: 5e9,
+	})
+	if err := s.Validate(); err != nil {
+		t.Fatalf("multi-agent produced invalid setting: %v", err)
+	}
+	if s.Concurrency > 16 || s.Parallelism > 8 || s.Pipelining > 32 {
+		t.Fatalf("setting out of bounds: %+v", s)
+	}
+}
+
+// --- Integration with the simulated testbeds ---
+
+func bigTask(id string, n int) *transfer.Task {
+	task, err := transfer.NewTask(id, dataset.Uniform(id, 5000, int64(dataset.GB)),
+		transfer.Setting{Concurrency: n, Parallelism: 1, Pipelining: 1})
+	if err != nil {
+		panic(err)
+	}
+	return task
+}
+
+// runSingle drives one agent on a testbed for `horizon` seconds and
+// returns the timeline.
+func runSingle(t *testing.T, cfg testbed.Config, agent testbed.Controller, horizon float64) *testbed.Timeline {
+	t.Helper()
+	eng, err := testbed.NewEngine(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testbed.NewScheduler(eng, 1)
+	task := bigTask("falcon", 2)
+	if err := s.Add(testbed.Participant{Task: task, Controller: agent}); err != nil {
+		t.Fatal(err)
+	}
+	return s.Run(horizon, 0.25)
+}
+
+func TestGDAgentConvergesOnEmulab(t *testing.T) {
+	// Figure 9(a): Emulab, 10 Mbps per process, 100 Mbps link → optimal
+	// concurrency 10, ≈0.1 Gbps.
+	tl := runSingle(t, testbed.Emulab(10e6), NewGDAgent(32), 300)
+	cc := tl.Concurrency.Lookup("falcon")
+	if cc == nil {
+		t.Fatal("no concurrency series")
+	}
+	// Post-convergence concurrency must hover around 10 (the paper
+	// reports bouncing between 9 and 11).
+	tailMean := cc.MeanAfter(120)
+	if tailMean < 8 || tailMean > 13 {
+		t.Fatalf("tail concurrency = %v, want ≈10", tailMean)
+	}
+	tput := tl.MeanThroughputGbps("falcon", 120, 300)
+	if tput < 0.085 {
+		t.Fatalf("converged throughput = %v Gbps, want ≈0.1", tput)
+	}
+}
+
+func TestBOAgentConvergesOnEmulab(t *testing.T) {
+	tl := runSingle(t, testbed.Emulab(10e6), NewBOAgent(32, 42), 300)
+	tput := tl.MeanThroughputGbps("falcon", 120, 300)
+	if tput < 0.08 {
+		t.Fatalf("BO converged throughput = %v Gbps, want ≈0.1", tput)
+	}
+}
+
+func TestGDAgentConvergesOnHPCLab(t *testing.T) {
+	// §4.1: both GD and BO reach >25 Gbps in HPCLab (optimum ≈9).
+	tl := runSingle(t, testbed.HPCLab(), NewGDAgent(32), 240)
+	tput := tl.MeanThroughputGbps("falcon", 120, 240)
+	if tput < 22 {
+		t.Fatalf("HPCLab GD throughput = %v Gbps, want >22", tput)
+	}
+}
+
+func TestHCAgentSlowerThanGDOnLargeOptimum(t *testing.T) {
+	// Figures 7–8: with the optimum at ≈48, HC needs far longer than GD.
+	cfg := testbed.EmulabGigabit(20.83e6)
+	reach := func(agent testbed.Controller) float64 {
+		eng, err := testbed.NewEngine(cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := testbed.NewScheduler(eng, 1)
+		task := bigTask("a", 2)
+		if err := s.Add(testbed.Participant{Task: task, Controller: agent}); err != nil {
+			t.Fatal(err)
+		}
+		tl := s.Run(600, 0.25)
+		cc := tl.Concurrency.Lookup("a")
+		for _, p := range cc.Points {
+			if p.Value >= 43 {
+				return p.Time
+			}
+		}
+		return math.Inf(1)
+	}
+	gdTime := reach(NewGDAgent(100))
+	hcTime := reach(NewHCAgent(100))
+	if math.IsInf(gdTime, 1) {
+		t.Fatal("GD never approached 48")
+	}
+	if math.IsInf(hcTime, 1) {
+		t.Fatal("HC never approached 48 within 600s")
+	}
+	if hcTime < 2.5*gdTime {
+		t.Fatalf("HC (%vs) should be much slower than GD (%vs)", hcTime, gdTime)
+	}
+}
+
+func TestCompetingGDAgentsShareFairly(t *testing.T) {
+	// Figure 11: two GD agents on the same testbed converge to
+	// near-identical throughput (Jain ≈ 1) while keeping utilization
+	// high.
+	cfg := testbed.Emulab(10e6)
+	eng, err := testbed.NewEngine(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testbed.NewScheduler(eng, 1)
+	if err := s.Add(testbed.Participant{Task: bigTask("a", 2), Controller: NewGDAgent(32)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(testbed.Participant{Task: bigTask("b", 2), Controller: NewGDAgent(32), JoinAt: 120}); err != nil {
+		t.Fatal(err)
+	}
+	tl := s.Run(480, 0.25)
+
+	ta := tl.MeanThroughputGbps("a", 300, 480)
+	tb := tl.MeanThroughputGbps("b", 300, 480)
+	if j := stats.JainIndex([]float64{ta, tb}); j < 0.95 {
+		t.Fatalf("Jain index = %v (a=%v, b=%v Gbps), want ≥0.95", j, ta, tb)
+	}
+	// Aggregate utilization stays high (≥80% of the 0.1 Gbps capacity).
+	if ta+tb < 0.08 {
+		t.Fatalf("aggregate = %v Gbps, want ≥0.08", ta+tb)
+	}
+}
+
+func TestAgentsReduceConcurrencyWhenCompetitorJoins(t *testing.T) {
+	// Figure 13's mechanism: a solo agent converges near the optimum;
+	// when a second Falcon agent joins, the first backs off its
+	// concurrency rather than fighting.
+	cfg := testbed.Emulab(10e6)
+	eng, err := testbed.NewEngine(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testbed.NewScheduler(eng, 1)
+	if err := s.Add(testbed.Participant{Task: bigTask("first", 2), Controller: NewGDAgent(32)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(testbed.Participant{Task: bigTask("second", 2), Controller: NewGDAgent(32), JoinAt: 180}); err != nil {
+		t.Fatal(err)
+	}
+	tl := s.Run(480, 0.25)
+	cc := tl.Concurrency.Lookup("first")
+	solo := cc.Between(100, 180).Mean()
+	contested := cc.Between(320, 480).Mean()
+	if contested >= solo {
+		t.Fatalf("first agent did not back off: solo %v, contested %v", solo, contested)
+	}
+}
+
+func TestRunnerIsExercisedBySimEnv(t *testing.T) {
+	// The Runner loop is tested against the ftp package's loopback
+	// environment in internal/ftp; here we check its input validation.
+	if err := Run(nil, nil, nil, RunConfig{}); err == nil {
+		t.Fatal("Run accepted nil environment")
+	}
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/testbed"
+	"repro/internal/transfer"
+)
+
+// ExampleAgent_Decide shows a single Falcon decision epoch: a sample
+// transfer's observables go in, the next setting comes out.
+func ExampleAgent_Decide() {
+	agent := core.NewGDAgent(32)
+	next := agent.Decide(transfer.Sample{
+		Setting:    transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1},
+		Duration:   3,
+		Throughput: 2e9, // 2 Gbps aggregate
+		Loss:       0,
+	})
+	fmt.Println(next.Concurrency >= 1 && next.Concurrency <= 32)
+	// Output: true
+}
+
+// Example_simulatedTransfer tunes a transfer on the Emulab testbed and
+// reports where Falcon converges.
+func Example_simulatedTransfer() {
+	cfg := testbed.Emulab(10e6) // optimal concurrency: 10
+	cfg.NoiseStdDev = 0
+	eng, err := testbed.NewEngine(cfg, 1)
+	if err != nil {
+		panic(err)
+	}
+	task, err := transfer.NewTask("demo", dataset.Uniform("demo", 2000, int64(dataset.GB)),
+		transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1})
+	if err != nil {
+		panic(err)
+	}
+	sched := testbed.NewScheduler(eng, 1)
+	if err := sched.Add(testbed.Participant{Task: task, Controller: core.NewGDAgent(32)}); err != nil {
+		panic(err)
+	}
+	tl := sched.Run(240, 0.25)
+	cc := tl.Concurrency.Lookup("demo").MeanAfter(120)
+	fmt.Println(cc > 7 && cc < 13)
+	// Output: true
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/transfer"
+)
+
+// Decider is the decision interface shared by Agent and MultiAgent
+// (and by the baselines package): one setting per sample transfer.
+type Decider interface {
+	Decide(s transfer.Sample) transfer.Setting
+}
+
+// Environment is a live transfer whose knobs Falcon can change and
+// whose performance it can measure. The real-FTP adapter (package ftp)
+// and any future GridFTP/bbcp integration implement it.
+type Environment interface {
+	// Apply reconfigures the running transfer.
+	Apply(s transfer.Setting) error
+	// Measure blocks for roughly d while the transfer proceeds, then
+	// returns the observed sample. The transfer continues throughout —
+	// Falcon's monitoring runs beside the data movement, never pausing
+	// it (§3.2).
+	Measure(d time.Duration) (transfer.Sample, error)
+	// Done reports whether the transfer has completed.
+	Done() bool
+}
+
+// RunConfig parameterises Run.
+type RunConfig struct {
+	// SampleInterval is the duration of each sample transfer. Values
+	// ≤ 0 default to 3 s (the paper's LAN setting).
+	SampleInterval time.Duration
+	// OnSample, when non-nil, observes every (sample, next setting)
+	// pair — the hook experiments and CLIs use for live reporting.
+	OnSample func(s transfer.Sample, next transfer.Setting)
+}
+
+// Run drives a Decider against a live Environment until the transfer
+// completes or the context is cancelled. It returns nil on completion,
+// the context error on cancellation, and any Apply/Measure failure
+// otherwise.
+func Run(ctx context.Context, env Environment, d Decider, cfg RunConfig) error {
+	if env == nil {
+		return errors.New("core: nil environment")
+	}
+	if d == nil {
+		return errors.New("core: nil decider")
+	}
+	interval := cfg.SampleInterval
+	if interval <= 0 {
+		interval = 3 * time.Second
+	}
+	for !env.Done() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sample, err := env.Measure(interval)
+		if err != nil {
+			return fmt.Errorf("core: measure: %w", err)
+		}
+		if env.Done() {
+			return nil
+		}
+		next := d.Decide(sample)
+		if cfg.OnSample != nil {
+			cfg.OnSample(sample, next)
+		}
+		if err := env.Apply(next); err != nil {
+			return fmt.Errorf("core: apply %v: %w", next, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package dataset describes and synthesises the file collections used
+// throughout the paper's evaluation: the main 1000×1 GB dataset, and
+// the small / large / mixed datasets of §4.4 (multi-parameter
+// optimization). Datasets carry only metadata — file names and sizes —
+// which is what both the simulated and the real transfer substrates
+// consume; the real-FTP example materialises files on disk on demand.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Common size units in bytes.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+	TiB = 1 << 40
+
+	// GB and TB are the decimal units the paper uses for its main
+	// "1000 × 1 GB" dataset.
+	GB = 1e9
+	TB = 1e12
+)
+
+// File is one transferable file: a name and a size in bytes.
+type File struct {
+	Name string
+	Size int64
+}
+
+// Dataset is an ordered collection of files.
+type Dataset struct {
+	// Label identifies the dataset in experiment output (e.g. "small").
+	Label string
+	Files []File
+}
+
+// TotalBytes returns the sum of all file sizes.
+func (d *Dataset) TotalBytes() int64 {
+	var t int64
+	for _, f := range d.Files {
+		t += f.Size
+	}
+	return t
+}
+
+// Count returns the number of files.
+func (d *Dataset) Count() int { return len(d.Files) }
+
+// MeanFileSize returns the average file size in bytes, or 0 when empty.
+func (d *Dataset) MeanFileSize() float64 {
+	if len(d.Files) == 0 {
+		return 0
+	}
+	return float64(d.TotalBytes()) / float64(len(d.Files))
+}
+
+// MedianFileSize returns the median file size in bytes, or 0 when empty.
+func (d *Dataset) MedianFileSize() int64 {
+	if len(d.Files) == 0 {
+		return 0
+	}
+	sizes := make([]int64, len(d.Files))
+	for i, f := range d.Files {
+		sizes[i] = f.Size
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	return sizes[len(sizes)/2]
+}
+
+// Validate checks structural invariants: a non-empty label, and every
+// file having a unique non-empty name and positive size.
+func (d *Dataset) Validate() error {
+	if d.Label == "" {
+		return fmt.Errorf("dataset: empty label")
+	}
+	seen := make(map[string]bool, len(d.Files))
+	for i, f := range d.Files {
+		if f.Name == "" {
+			return fmt.Errorf("dataset %q: file %d has empty name", d.Label, i)
+		}
+		if f.Size <= 0 {
+			return fmt.Errorf("dataset %q: file %q has non-positive size %d", d.Label, f.Name, f.Size)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("dataset %q: duplicate file name %q", d.Label, f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return nil
+}
+
+// Uniform returns a dataset of count files, each of the given size.
+func Uniform(label string, count int, size int64) *Dataset {
+	if count <= 0 {
+		panic(fmt.Sprintf("dataset: Uniform count %d must be positive", count))
+	}
+	if size <= 0 {
+		panic(fmt.Sprintf("dataset: Uniform size %d must be positive", size))
+	}
+	d := &Dataset{Label: label, Files: make([]File, count)}
+	for i := range d.Files {
+		d.Files[i] = File{Name: fmt.Sprintf("%s-%06d.dat", label, i), Size: size}
+	}
+	return d
+}
+
+// Main returns the paper's principal evaluation dataset: 1000 × 1 GB.
+func Main() *Dataset { return Uniform("main", 1000, int64(GB)) }
+
+// randomSized builds count files with sizes drawn log-uniformly from
+// [minSize, maxSize], then rescales so the total matches totalBytes.
+func randomSized(label string, rng *rand.Rand, count int, minSize, maxSize, totalBytes int64) *Dataset {
+	d := &Dataset{Label: label, Files: make([]File, count)}
+	var sum int64
+	logMin, logMax := float64(minSize), float64(maxSize)
+	for i := range d.Files {
+		// Log-uniform: heavy representation of small sizes, as real
+		// scientific datasets exhibit.
+		u := rng.Float64()
+		size := int64(logMin * math.Pow(logMax/logMin, u))
+		if size < minSize {
+			size = minSize
+		}
+		if size > maxSize {
+			size = maxSize
+		}
+		d.Files[i] = File{Name: fmt.Sprintf("%s-%06d.dat", label, i), Size: size}
+		sum += size
+	}
+	// Rescale to hit the requested total while respecting bounds.
+	scale := float64(totalBytes) / float64(sum)
+	var rescaled int64
+	for i := range d.Files {
+		s := int64(float64(d.Files[i].Size) * scale)
+		if s < minSize {
+			s = minSize
+		}
+		if s > maxSize {
+			s = maxSize
+		}
+		d.Files[i].Size = s
+		rescaled += s
+	}
+	return d
+}
+
+// Small returns the §4.4 "small" dataset: files 1 KiB – 10 MiB,
+// ~120 GiB total. The seed makes generation deterministic.
+func Small(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	// 120 GiB of files averaging ~2.4 MiB each → ~50k files. That is
+	// representative (the paper stresses "lots of small files") while
+	// staying cheap to simulate.
+	return randomSized("small", rng, 50000, 1*KiB, 10*MiB, 120*GiB)
+}
+
+// Large returns the §4.4 "large" dataset: files 100 MiB – 10 GiB,
+// ~1 TiB total.
+func Large(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	return randomSized("large", rng, 700, 100*MiB, 10*GiB, 1*TiB)
+}
+
+// Mixed returns the §4.4 "mixed" dataset: the union of Small and Large
+// (~1.2 TiB total).
+func Mixed(seed int64) *Dataset {
+	s := Small(seed)
+	l := Large(seed + 1)
+	d := &Dataset{Label: "mixed"}
+	d.Files = append(d.Files, s.Files...)
+	for _, f := range l.Files {
+		d.Files = append(d.Files, File{Name: "mixed-" + f.Name, Size: f.Size})
+	}
+	for i := range s.Files {
+		d.Files[i].Name = "mixed-" + d.Files[i].Name
+	}
+	return d
+}
+
+// Friendliness returns the §4.5 dataset: 1.1 TiB of files between
+// 100 MiB and 10 GiB.
+func Friendliness(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := randomSized("friendliness", rng, 770, 100*MiB, 10*GiB, 1100*GiB)
+	return d
+}

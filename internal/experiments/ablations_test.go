@@ -1,0 +1,128 @@
+package experiments
+
+import "testing"
+
+func TestAblationKShape(t *testing.T) {
+	r, err := AblationK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k102, k110 float64
+	for _, row := range r.Rows {
+		switch row[0] {
+		case "1.020":
+			k102 = parse(t, row[2])
+		case "1.100":
+			k110 = parse(t, row[2])
+		}
+	}
+	if k102 < 38 || k102 > 56 {
+		t.Fatalf("K=1.02 converged cc = %v, want ≈48", k102)
+	}
+	// §3.1: large K converges to suboptimal results when the optimum
+	// is high (the concave region ends at 2/ln 1.1 ≈ 21).
+	if k110 > 0.75*k102 {
+		t.Fatalf("K=1.10 cc = %v should sit well below K=1.02's %v", k110, k102)
+	}
+}
+
+func TestAblationBShape(t *testing.T) {
+	r, err := AblationB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows ordered B = 0, 1, 10, 100.
+	lossB0 := parse(t, r.Rows[0][3])
+	lossB10 := parse(t, r.Rows[2][3])
+	utilB10 := parse(t, r.Rows[2][2])
+	ccB0 := parse(t, r.Rows[0][1])
+	ccB10 := parse(t, r.Rows[2][1])
+	if ccB0 <= ccB10 {
+		t.Fatalf("B=0 cc %v should exceed B=10 cc %v (nothing punishes loss)", ccB0, ccB10)
+	}
+	if lossB0 <= lossB10 {
+		t.Fatalf("B=0 loss %v%% should exceed B=10 loss %v%%", lossB0, lossB10)
+	}
+	// The paper's claim for B=10: loss below 1%, utilization over 95%.
+	if lossB10 > 1.0 {
+		t.Fatalf("B=10 loss = %v%%, want <1%%", lossB10)
+	}
+	if utilB10 < 85 {
+		t.Fatalf("B=10 utilization = %v%%, want high", utilB10)
+	}
+}
+
+func TestAblationWarmupShape(t *testing.T) {
+	r, err := AblationWarmup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := parse(t, r.Rows[0][1])
+	with := parse(t, r.Rows[1][1])
+	if with <= none {
+		t.Fatalf("warm-up exclusion should let HC climb higher: none=%v, 1s=%v", none, with)
+	}
+}
+
+func TestAblationDynamicsShape(t *testing.T) {
+	r, err := AblationDynamics(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone := parse(t, r.Rows[0][1])
+	contested := parse(t, r.Rows[1][1])
+	recovered := parse(t, r.Rows[2][1])
+	if contested >= alone {
+		t.Fatalf("Falcon should shed concurrency under background traffic: alone %v, contested %v", alone, contested)
+	}
+	if recovered <= contested {
+		t.Fatalf("Falcon should re-expand after the background leaves: contested %v, recovered %v", contested, recovered)
+	}
+}
+
+func TestAblationWindowRuns(t *testing.T) {
+	r, err := AblationWindow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 window sizes", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if after := parse(t, row[2]); after <= 0 {
+			t.Fatalf("window %s: post-change throughput %v must be positive", row[0], after)
+		}
+	}
+}
+
+func TestAblationBBRShape(t *testing.T) {
+	r, err := AblationBBR(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubicCC := parse(t, r.Rows[0][1])
+	bbrCC := parse(t, r.Rows[1][1])
+	cubicLoss := parse(t, r.Rows[0][3])
+	bbrLoss := parse(t, r.Rows[1][3])
+	// Same "just enough" concurrency under both congestion models.
+	if d := cubicCC - bbrCC; d > 4 || d < -4 {
+		t.Fatalf("converged cc differs too much: cubic %v vs bbr %v", cubicCC, bbrCC)
+	}
+	if bbrLoss >= cubicLoss {
+		t.Fatalf("BBR loss %v%% should sit below Cubic's %v%%", bbrLoss, cubicLoss)
+	}
+}
+
+func TestAblationIntervalRuns(t *testing.T) {
+	r, err := AblationInterval(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 intervals", len(r.Rows))
+	}
+	// With the paper's 3 s interval the transfer must converge.
+	if r.Rows[1][1] == "never" {
+		t.Fatal("3s interval never converged")
+	}
+}

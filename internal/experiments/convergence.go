@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// Fig7 compares the convergence speed of Hill Climbing, Gradient
+// Descent, and Bayesian Optimization when the optimal concurrency is
+// ≈48 (Emulab, 1 Gbps link, ≈20.8 Mbps per process).
+func Fig7(seed int64) (*Result, error) {
+	r := &Result{
+		ID:     "fig7",
+		Title:  "Convergence to the optimal concurrency (≈48) by search algorithm",
+		Header: []string{"Algorithm", "Time to reach ≥43 (s)", "Throughput after convergence (Mbps)"},
+	}
+	cfg := testbed.EmulabGigabit(20.83e6)
+	type res struct {
+		name  string
+		reach float64
+		tput  float64
+	}
+	var results []res
+	for _, algo := range []string{core.AlgoHillClimbing, core.AlgoGradient, core.AlgoBayesian} {
+		agent, err := core.NewAgentByName(algo, 100, seed)
+		if err != nil {
+			return nil, err
+		}
+		tl, err := scenario(cfg, seed, 900, testbed.Participant{Task: endlessTask(algo, 2), Controller: agent})
+		if err != nil {
+			return nil, err
+		}
+		reach := -1.0
+		for _, p := range tl.Concurrency.Lookup(algo).Points {
+			if p.Value >= 43 {
+				reach = p.Time
+				break
+			}
+		}
+		tput := tl.MeanThroughputGbps(algo, 700, 900)
+		results = append(results, res{algo, reach, tput})
+		copyChart(r.Chart("concurrency"), &tl.Concurrency)
+	}
+	for _, x := range results {
+		reachStr := "never"
+		if x.reach >= 0 {
+			reachStr = fmt.Sprintf("%.0f", x.reach)
+		}
+		r.AddRow(x.name, reachStr, fmt.Sprintf("%.0f", x.tput*1000))
+	}
+	if results[0].reach > 0 && results[1].reach > 0 {
+		r.AddNote("HC/GD convergence-time ratio %.1fx (paper: ~7x; GD+BO <30s, HC >250s)",
+			results[0].reach/results[1].reach)
+	}
+	return r, nil
+}
+
+// Fig8 runs two Hill Climbing Falcon agents against each other: unit
+// steps make both convergence and fairness painfully slow compared to
+// GD/BO (reported alongside for contrast).
+func Fig8(seed int64) (*Result, error) {
+	r := &Result{
+		ID:     "fig8",
+		Title:  "Competing transfers under Hill Climbing vs Gradient Descent",
+		Header: []string{"Algorithm pair", "Jain index (mid-run)", "Jain index (late)", "Aggregate (Mbps, late)"},
+	}
+	cfg := testbed.EmulabGigabit(20.83e6)
+	run := func(mk func() testbed.Controller, label string) error {
+		tl, err := scenario(cfg, seed, 900,
+			testbed.Participant{Task: endlessTask(label+"-a", 2), Controller: mk()},
+			testbed.Participant{Task: endlessTask(label+"-b", 2), Controller: mk(), JoinAt: 120},
+		)
+		if err != nil {
+			return err
+		}
+		midA := tl.MeanThroughputGbps(label+"-a", 240, 420)
+		midB := tl.MeanThroughputGbps(label+"-b", 240, 420)
+		lateA := tl.MeanThroughputGbps(label+"-a", 700, 900)
+		lateB := tl.MeanThroughputGbps(label+"-b", 700, 900)
+		r.AddRow(label,
+			fmt.Sprintf("%.3f", stats.JainIndex([]float64{midA, midB})),
+			fmt.Sprintf("%.3f", stats.JainIndex([]float64{lateA, lateB})),
+			fmt.Sprintf("%.0f", (lateA+lateB)*1000))
+		copyChart(r.Chart("throughput-"+label), &tl.Throughput)
+		return nil
+	}
+	if err := run(func() testbed.Controller { return core.NewHCAgent(100) }, "hc"); err != nil {
+		return nil, err
+	}
+	if err := run(func() testbed.Controller { return core.NewGDAgent(100) }, "gd"); err != nil {
+		return nil, err
+	}
+	r.AddNote("HC reaches fairness eventually but far more slowly than GD (paper Figure 8)")
+	return r, nil
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse reads a float cell, tolerating arrow pairs ("1.00→0.80" → last).
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	if i := strings.LastIndex(cell, "→"); i >= 0 {
+		cell = cell[i+len("→"):]
+	}
+	cell = strings.TrimSuffix(strings.TrimSuffix(cell, "%"), "x")
+	cell = strings.TrimPrefix(cell, "+")
+	cell = strings.TrimPrefix(cell, "−")
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryCompleteAndUnique(t *testing.T) {
+	all := All()
+	if len(all) != 28 {
+		t.Fatalf("registry has %d entries, want 28 (Table 1 + 18 figure panels + 9 ablations)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment ID %q", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Name == "" {
+			t.Fatalf("experiment %q incomplete", r.ID)
+		}
+	}
+	if _, ok := ByID("fig4"); !ok {
+		t.Fatal("ByID(fig4) missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID(nope) found something")
+	}
+}
+
+// TestEveryExperimentRuns executes every registered runner end-to-end
+// and checks structural invariants of the results: non-empty tables
+// whose rows match the header width. This is the repository's
+// regression net for the full evaluation.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full evaluation suite")
+	}
+	for _, runner := range All() {
+		runner := runner
+		t.Run(runner.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := runner.Run(2) // a seed the shape tests don't use
+			if err != nil {
+				t.Fatalf("%s: %v", runner.ID, err)
+			}
+			if res.ID != runner.ID {
+				t.Fatalf("result ID %q != runner ID %q", res.ID, runner.ID)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range res.Rows {
+				if len(row) != len(res.Header) {
+					t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(res.Header))
+				}
+			}
+			if res.String() == "" {
+				t.Fatal("empty render")
+			}
+		})
+	}
+}
+
+func TestResultRender(t *testing.T) {
+	r := &Result{ID: "x", Title: "T", Header: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.AddNote("hello %d", 5)
+	out := r.String()
+	for _, want := range []string{"== x: T ==", "a", "bb", "hello 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if r.Chart("c") != r.Chart("c") {
+		t.Fatal("Chart not idempotent")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 testbeds", len(r.Rows))
+	}
+	bottlenecks := map[string]bool{}
+	for _, row := range r.Rows {
+		bottlenecks[row[4]] = true
+	}
+	for _, want := range []string{"Network", "Disk Read", "Disk Write", "NIC"} {
+		if !bottlenecks[want] {
+			t.Errorf("missing bottleneck %q", want)
+		}
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	r, err := Fig1a(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrency must raise HPCLab throughput by ≥3x (paper: 3-15x).
+	first := parse(t, r.Rows[0][1])
+	best := 0.0
+	for _, row := range r.Rows {
+		if v := parse(t, row[1]); v > best {
+			best = v
+		}
+	}
+	if best < 3*first {
+		t.Fatalf("HPCLab gain %v/%v < 3x", best, first)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	r, err := Fig4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at10, at32 float64
+	for _, row := range r.Rows {
+		if row[0] == "10" {
+			at10 = parse(t, row[2])
+		}
+		if row[0] == "32" {
+			at32 = parse(t, row[2])
+		}
+	}
+	if at10 > 2.0 {
+		t.Fatalf("loss at 10 = %v%%, want <2%%", at10)
+	}
+	if at32 < 5.0 {
+		t.Fatalf("loss at 32 = %v%%, want ≥5%%", at32)
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	r, err := Fig6a(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := map[string]float64{}
+	for _, row := range r.Rows {
+		peaks[row[0]] = parse(t, row[1])
+	}
+	if p := peaks["linear C=0.02"]; p < 20 || p > 30 {
+		t.Fatalf("C=0.02 peak = %v, want ≈25", p)
+	}
+	if p := peaks["nonlinear K=1.02"]; p < 44 || p > 52 {
+		t.Fatalf("nonlinear peak = %v, want ≈48", p)
+	}
+}
+
+func TestFig2bLateComerAdvantage(t *testing.T) {
+	r, err := Fig2b(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parse(t, r.Rows[0][1])
+	second := parse(t, r.Rows[1][1])
+	if second < 1.3*first {
+		t.Fatalf("late-comer %v vs incumbent %v: want clear advantage (paper ~2x)", second, first)
+	}
+}
+
+func TestFig7Ordering(t *testing.T) {
+	r, err := Fig7(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[string]float64{}
+	for _, row := range r.Rows {
+		if row[1] == "never" {
+			t.Fatalf("%s never converged", row[0])
+		}
+		times[row[0]] = parse(t, row[1])
+	}
+	if times["hc"] < 2*times["gd"] {
+		t.Fatalf("HC (%v s) should be much slower than GD (%v s)", times["hc"], times["gd"])
+	}
+}
+
+func TestFig9Utilization(t *testing.T) {
+	r, err := Fig9(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		tput := parse(t, row[1])
+		capacity := parse(t, row[3])
+		if tput < 0.7*capacity {
+			t.Fatalf("%s: Falcon-GD at %v of %v Gbps (<70%% utilization)", row[0], tput, capacity)
+		}
+	}
+}
+
+func TestFig14FalconWins(t *testing.T) {
+	r, err := Fig14(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		globus := parse(t, row[1])
+		gd := parse(t, row[3])
+		if gd < 1.5*globus {
+			t.Fatalf("%s: Falcon-GD %v vs Globus %v, want ≥1.5x (paper 2-6x)", row[0], gd, globus)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package ftp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// dataConn is one established data connection with its buffered ends.
+type dataConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// connPool reuses data connections across stripes. GridFTP caches data
+// channels for exactly this reason: connection establishment costs a
+// round trip plus slow start (§3.2 footnote 2), which dominates when
+// transferring many small files.
+type connPool struct {
+	addr string
+	max  int
+
+	mu     sync.Mutex
+	idle   []*dataConn
+	closed bool
+}
+
+// newConnPool builds a pool dialing addr, keeping at most max idle
+// connections.
+func newConnPool(addr string, max int) *connPool {
+	if max < 1 {
+		max = 1
+	}
+	return &connPool{addr: addr, max: max}
+}
+
+// get returns an idle connection or dials a fresh one.
+func (p *connPool) get() (*dataConn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		dc := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return dc, nil
+	}
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("ftp: pool closed")
+	}
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial data: %w", err)
+	}
+	dc := &dataConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriterSize(conn, segBufSize)}
+	if _, err := fmt.Fprintf(dc.w, "%s\n", hdrData); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return dc, nil
+}
+
+// put returns a healthy connection for reuse, or retires it politely if
+// the pool is full or closed.
+func (p *connPool) put(dc *dataConn) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.max {
+		p.idle = append(p.idle, dc)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.retire(dc)
+}
+
+// discard closes a connection that failed mid-stripe (it must not be
+// reused: the stream is in an unknown state).
+func (p *connPool) discard(dc *dataConn) {
+	dc.conn.Close()
+}
+
+// retire ends the protocol session and closes the connection.
+func (p *connPool) retire(dc *dataConn) {
+	fmt.Fprintf(dc.w, "%s\n", hdrEnd)
+	dc.w.Flush()
+	dc.conn.Close()
+}
+
+// close retires every idle connection and stops new dials.
+func (p *connPool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, dc := range idle {
+		p.retire(dc)
+	}
+}

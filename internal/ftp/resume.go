@@ -1,0 +1,49 @@
+package ftp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CheckpointFile is the serialisable form of a transfer checkpoint.
+type CheckpointFile struct {
+	// Completed lists fully delivered file IDs, sorted ascending.
+	Completed []int64 `json:"completed"`
+	// TotalFiles records the dataset size for sanity checking on load.
+	TotalFiles int `json:"total_files"`
+}
+
+// SaveCheckpoint serialises the client's progress to w as JSON.
+func SaveCheckpoint(w io.Writer, c *Client) error {
+	done := c.Checkpoint()
+	cf := CheckpointFile{TotalFiles: len(c.Files)}
+	for id := range done {
+		cf.Completed = append(cf.Completed, id)
+	}
+	sort.Slice(cf.Completed, func(i, j int) bool { return cf.Completed[i] < cf.Completed[j] })
+	enc := json.NewEncoder(w)
+	return enc.Encode(cf)
+}
+
+// LoadCheckpoint parses a checkpoint and returns the skip set for a
+// resuming client. totalFiles guards against applying a checkpoint to
+// the wrong dataset.
+func LoadCheckpoint(r io.Reader, totalFiles int) (map[int64]bool, error) {
+	var cf CheckpointFile
+	if err := json.NewDecoder(r).Decode(&cf); err != nil {
+		return nil, fmt.Errorf("ftp: parsing checkpoint: %w", err)
+	}
+	if cf.TotalFiles != totalFiles {
+		return nil, fmt.Errorf("ftp: checkpoint is for %d files, dataset has %d", cf.TotalFiles, totalFiles)
+	}
+	skip := make(map[int64]bool, len(cf.Completed))
+	for _, id := range cf.Completed {
+		if id < 0 || id >= int64(totalFiles) {
+			return nil, fmt.Errorf("ftp: checkpoint references file %d outside dataset", id)
+		}
+		skip[id] = true
+	}
+	return skip, nil
+}

@@ -1,0 +1,130 @@
+package ftp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transfer"
+)
+
+func TestCheckpointResume(t *testing.T) {
+	sink := &DiscardSink{}
+	srv := startServer(t, sink, 0)
+	// Throttled so the first session cannot finish before we abort it.
+	c1 := &Client{
+		Addr: srv.Addr(), Source: PatternSource{},
+		Files:       files(40, 256*1024),
+		PerProcRate: 20e6,
+	}
+	if err := c1.Start(transfer.Setting{Concurrency: 4, Parallelism: 1, Pipelining: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Let a few files complete, then abort.
+	deadline := time.Now().Add(20 * time.Second)
+	for len(c1.Checkpoint()) < 5 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	c1.Close()
+	done := c1.Checkpoint()
+	if len(done) < 5 {
+		t.Fatalf("only %d files completed before abort", len(done))
+	}
+	if len(done) >= 40 {
+		t.Fatal("transfer finished before abort; cannot test resume")
+	}
+
+	// Round-trip the checkpoint through its JSON form.
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, c1); err != nil {
+		t.Fatal(err)
+	}
+	skip, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skip) != len(done) {
+		t.Fatalf("checkpoint round trip lost entries: %d vs %d", len(skip), len(done))
+	}
+
+	// Resume: the second session must finish and send only the
+	// remaining files' bytes.
+	c2 := &Client{
+		Addr: srv.Addr(), Source: PatternSource{},
+		Files:         files(40, 256*1024),
+		SkipCompleted: skip,
+	}
+	if err := c2.Start(transfer.Setting{Concurrency: 8, Parallelism: 1, Pipelining: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(40-len(skip)) * 256 * 1024
+	if got := c2.BytesSent(); got != wantBytes {
+		t.Fatalf("resumed session sent %d bytes, want %d (skipping %d files)", got, wantBytes, len(skip))
+	}
+	if got := len(c2.Checkpoint()); got != 40 {
+		t.Fatalf("final checkpoint has %d files, want 40", got)
+	}
+}
+
+func TestLoadCheckpointValidation(t *testing.T) {
+	if _, err := LoadCheckpoint(strings.NewReader("not json"), 10); err == nil {
+		t.Error("garbage checkpoint accepted")
+	}
+	if _, err := LoadCheckpoint(strings.NewReader(`{"completed":[1],"total_files":5}`), 10); err == nil {
+		t.Error("wrong-dataset checkpoint accepted")
+	}
+	if _, err := LoadCheckpoint(strings.NewReader(`{"completed":[99],"total_files":10}`), 10); err == nil {
+		t.Error("out-of-range file ID accepted")
+	}
+	skip, err := LoadCheckpoint(strings.NewReader(`{"completed":[0,3],"total_files":10}`), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !skip[0] || !skip[3] || len(skip) != 2 {
+		t.Fatalf("skip = %v", skip)
+	}
+}
+
+func TestConnPoolReuse(t *testing.T) {
+	sink := &DiscardSink{}
+	srv := startServer(t, sink, 0)
+	p := newConnPool(srv.Addr(), 2)
+	a, err := p.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.put(a)
+	b, err := p.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("pool did not reuse the idle connection")
+	}
+	p.put(b)
+	p.close()
+	if _, err := p.get(); err == nil {
+		t.Fatal("closed pool handed out a connection")
+	}
+}
+
+func TestConnPoolCapBounded(t *testing.T) {
+	sink := &DiscardSink{}
+	srv := startServer(t, sink, 0)
+	p := newConnPool(srv.Addr(), 1)
+	a, _ := p.get()
+	b, _ := p.get()
+	p.put(a)
+	p.put(b) // over capacity: retired, not pooled
+	p.mu.Lock()
+	n := len(p.idle)
+	p.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("idle = %d, want 1", n)
+	}
+	p.close()
+}

@@ -1,0 +1,256 @@
+package ftp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// segBufSize is the read buffer for segment payloads.
+const segBufSize = 256 * 1024
+
+// maxSegLen bounds a single SEG payload against malicious headers.
+const maxSegLen int64 = 1 << 30
+
+// Server accepts control and data connections and feeds received bytes
+// to a Sink. One goroutine serves each connection.
+type Server struct {
+	// Sink receives the data. Required.
+	Sink Sink
+	// CommandDelay, when positive, delays each FILE acknowledgement,
+	// emulating the control-channel round trip of a wide-area transfer
+	// (loopback RTT is otherwise too small for pipelining to matter).
+	CommandDelay time.Duration
+	// Logf, when non-nil, receives diagnostic messages.
+	Logf func(format string, args ...any)
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts listening on addr ("127.0.0.1:0" for an ephemeral port)
+// and returns once the listener is ready. Connections are handled in
+// background goroutines until Close.
+func (s *Server) Serve(addr string) error {
+	if s.Sink == nil {
+		return errors.New("ftp: server needs a sink")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("ftp: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the listener address (valid after Serve).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if !s.isClosed() {
+				s.logf("ftp: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) && !s.isClosed() {
+				s.logf("ftp: connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// handle dispatches a connection by its first header line.
+func (s *Server) handle(conn net.Conn) error {
+	r := bufio.NewReaderSize(conn, segBufSize)
+	kind, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case hdrCtrl:
+		return s.handleControl(conn, r)
+	case hdrData:
+		return s.handleData(conn, r)
+	default:
+		return fmt.Errorf("ftp: unknown connection type %q", kind)
+	}
+}
+
+// handleControl processes FILE announcements. CommandDelay models the
+// control channel's *propagation* latency (a WAN round trip): each ACK
+// is emitted CommandDelay after its FILE arrives, but commands overlap
+// — pipelined announcements do not queue behind each other's delay,
+// matching how command pipelining hides RTT on real links.
+func (s *Server) handleControl(conn net.Conn, r *bufio.Reader) error {
+	var wmu sync.Mutex
+	w := bufio.NewWriter(conn)
+	var acks sync.WaitGroup
+	defer acks.Wait()
+	sendAck := func(id int64) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if _, err := fmt.Fprintf(w, "%s %d\n", hdrAck, id); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil && !s.isClosed() {
+			s.logf("ftp: ack %d: %v", id, err)
+		}
+	}
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		if line == hdrQuit {
+			return nil
+		}
+		fields, err := parseFields(line, hdrFile, 3)
+		if err != nil {
+			return err
+		}
+		id, err := parseInt64(fields[1])
+		if err != nil {
+			return err
+		}
+		if _, err := parseInt64(fields[2]); err != nil { // size, validated only
+			return err
+		}
+		if s.CommandDelay > 0 {
+			acks.Add(1)
+			time.AfterFunc(s.CommandDelay, func() {
+				defer acks.Done()
+				sendAck(id)
+			})
+		} else {
+			sendAck(id)
+		}
+	}
+}
+
+// handleData receives SEG payloads until END, verifying each stripe's
+// CRC-32 trailer before acknowledging it.
+func (s *Server) handleData(conn net.Conn, r *bufio.Reader) error {
+	w := bufio.NewWriter(conn)
+	buf := make([]byte, segBufSize)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		if line == hdrEnd {
+			return nil
+		}
+		fields, err := parseFields(line, hdrSeg, 4)
+		if err != nil {
+			return err
+		}
+		id, err := parseInt64(fields[1])
+		if err != nil {
+			return err
+		}
+		offset, err := parseInt64(fields[2])
+		if err != nil {
+			return err
+		}
+		length, err := parseInt64(fields[3])
+		if err != nil {
+			return err
+		}
+		if length > maxSegLen {
+			return fmt.Errorf("ftp: segment length %d exceeds limit", length)
+		}
+		sum := crc32.New(castagnoli)
+		remaining := length
+		pos := offset
+		for remaining > 0 {
+			chunk := buf
+			if remaining < int64(len(chunk)) {
+				chunk = chunk[:remaining]
+			}
+			n, err := io.ReadFull(r, chunk)
+			if err != nil {
+				return fmt.Errorf("ftp: short segment read: %w", err)
+			}
+			sum.Write(chunk[:n])
+			if err := s.Sink.WriteAt(id, pos, chunk[:n]); err != nil {
+				return fmt.Errorf("ftp: sink write: %w", err)
+			}
+			pos += int64(n)
+			remaining -= int64(n)
+		}
+		// Checksum trailer.
+		trailer, err := readLine(r)
+		if err != nil {
+			return fmt.Errorf("ftp: reading SUM trailer: %w", err)
+		}
+		tf, err := parseFields(trailer, hdrSum, 4)
+		if err != nil {
+			return err
+		}
+		want, err := parseInt64(tf[3])
+		if err != nil {
+			return err
+		}
+		verdict := hdrDone
+		if uint32(want) != sum.Sum32() {
+			verdict = hdrBad
+			s.logf("ftp: checksum mismatch for file %d offset %d", id, offset)
+		}
+		if _, err := fmt.Fprintf(w, "%s %d %d\n", verdict, id, offset); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// castagnoli is the CRC-32C table shared by client and server.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)

@@ -1,0 +1,92 @@
+// Package hostsim models the end hosts of a transfer: NIC capacity and
+// the CPU cost of driving many simultaneous connections.
+//
+// The paper's §2 ("Overburdened Network and End Hosts") observes that
+// very high concurrency "overwhelm[s] end system ... resources by
+// creating too many processes and network connections" even when it no
+// longer increases throughput. We model that as a host CPU resource
+// whose effective capacity shrinks gently with the number of active
+// connections: context-switch and interrupt overhead consume cycles
+// that would otherwise move bytes. This is what makes "just enough"
+// concurrency strictly better than "as much as possible" on testbeds
+// where packet loss stays zero (the sender-limited case of §3.1).
+package hostsim
+
+import "fmt"
+
+// Host describes one end host (data transfer node).
+type Host struct {
+	// Name identifies the host in diagnostics.
+	Name string
+	// NICCap is the network interface capacity in bits/s.
+	NICCap float64
+	// CPUCap is the host's peak data-movement capacity with a handful
+	// of connections, in bits/s. Typically above NICCap so the NIC is
+	// the binding constraint at sane concurrency.
+	CPUCap float64
+	// ConnOverhead is the fractional CPU capacity consumed per active
+	// connection (e.g. 0.003 → 0.3 % per connection). Zero disables
+	// the CPU model.
+	ConnOverhead float64
+	// MaxDegradation bounds the CPU penalty; effective capacity never
+	// drops below (1-MaxDegradation)·CPUCap. Zero means 0.6.
+	MaxDegradation float64
+}
+
+// Validate checks the configuration.
+func (h Host) Validate() error {
+	if h.Name == "" {
+		return fmt.Errorf("hostsim: host with empty name")
+	}
+	if h.NICCap <= 0 {
+		return fmt.Errorf("hostsim: host %q NICCap %v must be positive", h.Name, h.NICCap)
+	}
+	if h.CPUCap <= 0 {
+		return fmt.Errorf("hostsim: host %q CPUCap %v must be positive", h.Name, h.CPUCap)
+	}
+	if h.ConnOverhead < 0 || h.ConnOverhead >= 1 {
+		return fmt.Errorf("hostsim: host %q ConnOverhead %v outside [0,1)", h.Name, h.ConnOverhead)
+	}
+	if h.MaxDegradation < 0 || h.MaxDegradation >= 1 {
+		return fmt.Errorf("hostsim: host %q MaxDegradation %v outside [0,1)", h.Name, h.MaxDegradation)
+	}
+	return nil
+}
+
+func (h Host) maxDegradation() float64 {
+	if h.MaxDegradation > 0 {
+		return h.MaxDegradation
+	}
+	return 0.6
+}
+
+// EffectiveCPU returns the host's data-movement capacity when `conns`
+// connections are active across all tasks using this host:
+//
+//	cpu(m) = CPUCap / (1 + overhead·m)
+//
+// bounded below by (1-MaxDegradation)·CPUCap.
+func (h Host) EffectiveCPU(conns int) float64 {
+	if conns < 0 {
+		panic(fmt.Sprintf("hostsim: negative connection count %d", conns))
+	}
+	capv := h.CPUCap
+	if h.ConnOverhead > 0 {
+		capv = h.CPUCap / (1 + h.ConnOverhead*float64(conns))
+	}
+	if floor := (1 - h.maxDegradation()) * h.CPUCap; capv < floor {
+		capv = floor
+	}
+	return capv
+}
+
+// DTN returns a typical data transfer node with the given NIC capacity:
+// CPU headroom of 1.5× the NIC and 0.3 % per-connection overhead.
+func DTN(name string, nicCap float64) Host {
+	return Host{
+		Name:         name,
+		NICCap:       nicCap,
+		CPUCap:       1.5 * nicCap,
+		ConnOverhead: 0.003,
+	}
+}

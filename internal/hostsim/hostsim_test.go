@@ -1,0 +1,118 @@
+package hostsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func validHost() Host {
+	return Host{Name: "h", NICCap: 10e9, CPUCap: 15e9, ConnOverhead: 0.003}
+}
+
+func TestValidate(t *testing.T) {
+	h := validHost()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Host)
+	}{
+		{"empty name", func(h *Host) { h.Name = "" }},
+		{"zero nic", func(h *Host) { h.NICCap = 0 }},
+		{"zero cpu", func(h *Host) { h.CPUCap = 0 }},
+		{"overhead 1", func(h *Host) { h.ConnOverhead = 1 }},
+		{"negative overhead", func(h *Host) { h.ConnOverhead = -0.1 }},
+		{"degradation 1", func(h *Host) { h.MaxDegradation = 1 }},
+	}
+	for _, c := range cases {
+		h := validHost()
+		c.mutate(&h)
+		if err := h.Validate(); err == nil {
+			t.Errorf("%s: Validate did not error", c.name)
+		}
+	}
+}
+
+func TestEffectiveCPUZeroConnections(t *testing.T) {
+	h := validHost()
+	if got := h.EffectiveCPU(0); got != 15e9 {
+		t.Fatalf("EffectiveCPU(0) = %v, want CPUCap", got)
+	}
+}
+
+func TestEffectiveCPUDecreases(t *testing.T) {
+	h := validHost()
+	at100 := h.EffectiveCPU(100) // 15e9 / 1.3
+	want := 15e9 / 1.3
+	if diff := at100 - want; diff > 1 || diff < -1 {
+		t.Fatalf("EffectiveCPU(100) = %v, want %v", at100, want)
+	}
+	if h.EffectiveCPU(200) >= at100 {
+		t.Fatal("capacity should decrease with more connections")
+	}
+}
+
+func TestEffectiveCPUFloor(t *testing.T) {
+	h := validHost()
+	// Default 60% max degradation.
+	if got := h.EffectiveCPU(1_000_000); got != 0.4*15e9 {
+		t.Fatalf("floored CPU = %v, want %v", got, 0.4*15e9)
+	}
+	h.MaxDegradation = 0.25
+	if got := h.EffectiveCPU(1_000_000); got != 0.75*15e9 {
+		t.Fatalf("floored CPU = %v, want %v", got, 0.75*15e9)
+	}
+}
+
+func TestEffectiveCPUDisabled(t *testing.T) {
+	h := validHost()
+	h.ConnOverhead = 0
+	if got := h.EffectiveCPU(10_000); got != h.CPUCap {
+		t.Fatalf("disabled overhead: EffectiveCPU = %v, want CPUCap", got)
+	}
+}
+
+func TestEffectiveCPUNegativePanics(t *testing.T) {
+	h := validHost()
+	defer func() {
+		if recover() == nil {
+			t.Error("EffectiveCPU(-1) did not panic")
+		}
+	}()
+	h.EffectiveCPU(-1)
+}
+
+func TestDTNPreset(t *testing.T) {
+	h := DTN("dtn", 40e9)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if h.NICCap != 40e9 || h.CPUCap != 60e9 {
+		t.Fatalf("DTN caps = %v/%v, want 40e9/60e9", h.NICCap, h.CPUCap)
+	}
+	// With few connections the NIC must bind, not the CPU.
+	if h.EffectiveCPU(8) <= h.NICCap {
+		t.Fatal("CPU should exceed NIC at low connection counts")
+	}
+}
+
+// Property: EffectiveCPU is non-increasing and bounded.
+func TestEffectiveCPUMonotoneProperty(t *testing.T) {
+	f := func(ov uint8) bool {
+		h := validHost()
+		h.ConnOverhead = float64(ov%100) / 1000
+		prev := h.EffectiveCPU(0)
+		for m := 1; m <= 256; m *= 2 {
+			cur := h.EffectiveCPU(m)
+			if cur > prev+1e-9 || cur > h.CPUCap || cur < (1-h.maxDegradation())*h.CPUCap-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

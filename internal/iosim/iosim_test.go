@@ -1,0 +1,168 @@
+package iosim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func validStore() Store {
+	return Store{Name: "s", PerProcCap: 1e8, AggregateCap: 1e9, ContentionRate: 0.01}
+}
+
+func TestValidateAcceptsPresets(t *testing.T) {
+	for _, s := range []Store{
+		EmulabDisk(10e6),
+		LustreXSEDE(),
+		NVMeRAIDHPCLab(),
+		GPFSCampus(),
+		LustrePetascale(),
+		validStore(),
+	} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesDefects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Store)
+	}{
+		{"empty name", func(s *Store) { s.Name = "" }},
+		{"zero per-proc", func(s *Store) { s.PerProcCap = 0 }},
+		{"zero aggregate", func(s *Store) { s.AggregateCap = 0 }},
+		{"aggregate below per-proc", func(s *Store) { s.AggregateCap = s.PerProcCap / 2 }},
+		{"negative knee", func(s *Store) { s.ContentionKnee = -1 }},
+		{"contention rate 1", func(s *Store) { s.ContentionRate = 1 }},
+		{"negative contention", func(s *Store) { s.ContentionRate = -0.1 }},
+		{"max degradation 1", func(s *Store) { s.MaxDegradation = 1 }},
+	}
+	for _, c := range cases {
+		s := validStore()
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate did not error", c.name)
+		}
+	}
+}
+
+func TestEffectiveAggregateBelowKnee(t *testing.T) {
+	s := validStore() // knee = ceil(1e9/1e8) = 10
+	for _, n := range []int{0, 1, 5, 10} {
+		if got := s.EffectiveAggregate(n); got != 1e9 {
+			t.Errorf("EffectiveAggregate(%d) = %v, want 1e9", n, got)
+		}
+	}
+}
+
+func TestEffectiveAggregateContention(t *testing.T) {
+	s := validStore()
+	at20 := s.EffectiveAggregate(20) // 10 past knee: 1e9/(1+0.1)
+	want := 1e9 / 1.1
+	if diff := at20 - want; diff > 1 || diff < -1 {
+		t.Fatalf("EffectiveAggregate(20) = %v, want %v", at20, want)
+	}
+	if s.EffectiveAggregate(30) >= at20 {
+		t.Fatal("capacity should keep decreasing past the knee")
+	}
+}
+
+func TestEffectiveAggregateFloor(t *testing.T) {
+	s := validStore()
+	s.ContentionRate = 0.5
+	// Massive contention still bounded by the 50% default floor.
+	if got := s.EffectiveAggregate(10000); got != 0.5e9 {
+		t.Fatalf("floored capacity = %v, want 5e8", got)
+	}
+	s.MaxDegradation = 0.2
+	if got := s.EffectiveAggregate(10000); got != 0.8e9 {
+		t.Fatalf("floored capacity = %v, want 8e8", got)
+	}
+}
+
+func TestEffectiveAggregateNoContention(t *testing.T) {
+	s := validStore()
+	s.ContentionRate = 0
+	if got := s.EffectiveAggregate(1000); got != 1e9 {
+		t.Fatalf("no-contention capacity = %v, want 1e9", got)
+	}
+}
+
+func TestEffectiveAggregateNegativePanics(t *testing.T) {
+	s := validStore()
+	defer func() {
+		if recover() == nil {
+			t.Error("EffectiveAggregate(-1) did not panic")
+		}
+	}()
+	s.EffectiveAggregate(-1)
+}
+
+func TestSaturationThreads(t *testing.T) {
+	cases := []struct {
+		store Store
+		want  int
+	}{
+		{Store{Name: "a", PerProcCap: 10e6, AggregateCap: 100e6}, 10},
+		{Store{Name: "b", PerProcCap: 3e6, AggregateCap: 10e6}, 4}, // ceil
+		{EmulabDisk(10e6), 100},
+		{EmulabDisk(20e6), 50},
+	}
+	for _, c := range cases {
+		if got := c.store.SaturationThreads(); got != c.want {
+			t.Errorf("%s.SaturationThreads() = %d, want %d", c.store.Name, got, c.want)
+		}
+	}
+}
+
+func TestExplicitKneeOverridesDefault(t *testing.T) {
+	s := validStore()
+	s.ContentionKnee = 5
+	// Threads 6..10 are past the explicit knee even though the device
+	// is not yet saturated.
+	if got := s.EffectiveAggregate(6); got >= 1e9 {
+		t.Fatalf("EffectiveAggregate(6) = %v, want < 1e9 with knee 5", got)
+	}
+}
+
+// Property: effective capacity is monotonically non-increasing in the
+// thread count and always within [(1-maxDeg)·Agg, Agg].
+func TestEffectiveAggregateMonotoneProperty(t *testing.T) {
+	f := func(rate8 uint8, knee8 uint8) bool {
+		s := validStore()
+		s.ContentionRate = float64(rate8%50) / 100
+		s.ContentionKnee = int(knee8 % 40)
+		prev := s.EffectiveAggregate(0)
+		for n := 1; n <= 128; n++ {
+			cur := s.EffectiveAggregate(n)
+			if cur > prev+1e-9 {
+				return false
+			}
+			if cur > s.AggregateCap || cur < (1-s.maxDegradation())*s.AggregateCap-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresetBottlenecks(t *testing.T) {
+	// The presets must reflect the paper's Table 1 bottlenecks.
+	if n := NVMeRAIDHPCLab().SaturationThreads(); n < 8 || n > 10 {
+		t.Errorf("HPCLab saturation threads = %d, want ≈9 (§4.1)", n)
+	}
+	if agg := LustreXSEDE().AggregateCap; agg > 10e9 {
+		t.Errorf("XSEDE aggregate %v should be below the 10G network (disk-read bottleneck)", agg)
+	}
+	if agg := GPFSCampus().AggregateCap; agg < 10e9 {
+		t.Errorf("Campus aggregate %v should exceed the 10G NIC (NIC bottleneck)", agg)
+	}
+	if agg := LustrePetascale().AggregateCap; agg < 40e9 {
+		t.Errorf("Petascale aggregate %v should exceed the 40G WAN", agg)
+	}
+}

@@ -1,0 +1,318 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMatrix(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewMatrix(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestNewMatrixFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrixFrom with wrong length did not panic")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Fatalf("At(0,1) = %v, want 7.5", got)
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Identity At(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone is not a deep copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrixFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	p := a.Mul(b)
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("Mul At(%d,%d) = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Mul with mismatched dims did not panic")
+		}
+	}()
+	a.Mul(b)
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := a.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", got)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,12,-16],[12,37,-43],[-16,-43,98]] has Cholesky factor
+	// L = [[2,0,0],[6,1,0],[-8,5,3]].
+	a := NewMatrixFrom(3, 3, []float64{4, 12, -16, 12, 37, -43, -16, -43, 98})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	want := [][]float64{{2, 0, 0}, {6, 1, 0}, {-8, 5, 3}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEqual(l.At(i, j), want[i][j], 1e-12) {
+				t.Fatalf("L(%d,%d) = %v, want %v", i, j, l.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // indefinite
+	if _, err := Cholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("Cholesky on non-square matrix did not error")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{4, 1, 1, 3})
+	b := []float64{1, 2}
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatalf("SolveSPD: %v", err)
+	}
+	// Verify A·x = b.
+	got := a.MulVec(x)
+	for i := range b {
+		if !almostEqual(got[i], b[i], 1e-10) {
+			t.Fatalf("A·x = %v, want %v", got, b)
+		}
+	}
+}
+
+func TestSolveLowerUpper(t *testing.T) {
+	l := NewMatrixFrom(2, 2, []float64{2, 0, 1, 3})
+	// L·x = [2, 7] → x = [1, 2]
+	x := SolveLower(l, []float64{2, 7})
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Fatalf("SolveLower = %v, want [1 2]", x)
+	}
+	// Lᵀ·y = [4, 6] → y solves [[2,1],[0,3]]·y = [4,6] → y = [1, 2]
+	y := SolveUpper(l, []float64{4, 6})
+	if !almostEqual(y[0], 1, 1e-12) || !almostEqual(y[1], 2, 1e-12) {
+		t.Fatalf("SolveUpper = %v, want [1 2]", y)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot length mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestLogDetFromCholesky(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{4, 0, 0, 9}) // |A| = 36
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	if got := LogDetFromCholesky(l); !almostEqual(got, math.Log(36), 1e-12) {
+		t.Fatalf("LogDet = %v, want %v", got, math.Log(36))
+	}
+}
+
+// randomSPD builds an SPD matrix A = Mᵀ·M + n·I from a random M.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := m.Transpose().Mul(m)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+// Property: for random SPD A, Cholesky succeeds and L·Lᵀ reconstructs A.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%8) + 1
+		_ = seed
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		recon := l.Mul(l.Transpose())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEqual(recon.At(i, j), a.At(i, j), 1e-8*float64(n)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveSPD solutions satisfy A·x = b for random SPD systems.
+func TestSolveSPDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(sz uint8) bool {
+		n := int(sz%8) + 1
+		a := randomSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		got := a.MulVec(x)
+		for i := range b {
+			if !almostEqual(got[i], b[i], 1e-7*float64(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) < 4 {
+			return true
+		}
+		vals = vals[:4]
+		m := NewMatrixFrom(2, 2, vals)
+		tt := m.Transpose().Transpose()
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

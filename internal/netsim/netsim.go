@@ -1,0 +1,409 @@
+// Package netsim implements the fluid network model underlying every
+// simulated testbed: a set of capacity-constrained resources (network
+// links, NICs, storage servers, host CPUs) shared by TCP-like flows.
+//
+// Two mechanisms give the model its fidelity to the paper's testbeds:
+//
+//  1. Max-min fair allocation. The paper's footnote 1 observes that
+//     concurrent TCP streams with the same RTT obtain near-identical
+//     throughput under the common congestion-control variants; the
+//     progressive-filling (water-filling) algorithm computes exactly
+//     that equilibrium, honouring per-flow caps (per-process I/O
+//     limits) and every shared resource along each flow's path.
+//
+//  2. Mathis-model loss. At a saturated link, TCP's steady-state loss
+//     rate follows p ≈ (MSS·√1.5 / (RTT·r))² for per-flow rate r, so
+//     halving the per-flow share quadruples the loss rate — the
+//     quadratic growth of packet loss with concurrency shown in the
+//     paper's Figure 4.
+//
+// The model is stateless: Allocate maps a set of flow demands to rates
+// and loss estimates. Time dynamics (slow-start ramping, measurement
+// noise, task arrival/departure) live in package testbed.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ResourceKind classifies a capacity constraint. Only Link resources
+// produce packet loss; the others merely cap throughput (the paper's
+// "sender-limited" case where loss stays zero, §3.1).
+type ResourceKind int
+
+const (
+	// Link is a shared network link with an RTT and a loss response.
+	Link ResourceKind = iota
+	// NIC is a network interface card at an end host.
+	NIC
+	// Storage is a disk array or parallel file system server.
+	Storage
+	// CPU is end-host processing capacity.
+	CPU
+)
+
+// String returns the kind's name.
+func (k ResourceKind) String() string {
+	switch k {
+	case Link:
+		return "link"
+	case NIC:
+		return "nic"
+	case Storage:
+		return "storage"
+	case CPU:
+		return "cpu"
+	default:
+		return fmt.Sprintf("ResourceKind(%d)", int(k))
+	}
+}
+
+// Resource is a single capacity constraint, in bits per second.
+type Resource struct {
+	ID       string
+	Kind     ResourceKind
+	Capacity float64 // bits/s
+}
+
+// Demand describes one flow (one TCP connection) requesting bandwidth.
+type Demand struct {
+	// FlowID identifies the flow in the returned Allocation.
+	FlowID string
+	// Resources lists the IDs of every resource the flow traverses.
+	Resources []string
+	// Cap is the flow's intrinsic rate limit in bits/s (per-process
+	// I/O throttle divided across the file's streams, TCP window
+	// limit, …). Use math.Inf(1) or a huge value for "unlimited".
+	Cap float64
+	// RTT is the flow's end-to-end round-trip time in seconds, used by
+	// the loss model. Must be positive for flows crossing Link
+	// resources.
+	RTT float64
+	// Weight is the number of identical flows this demand represents
+	// (a task's n×p connections share one demand). Zero means 1. The
+	// returned Rate and Loss are per individual flow.
+	Weight int
+}
+
+// weight returns the effective flow multiplicity.
+func (d *Demand) weight() float64 {
+	if d.Weight <= 0 {
+		return 1
+	}
+	return float64(d.Weight)
+}
+
+// Allocation is the result of a max-min computation.
+type Allocation struct {
+	// Rate maps FlowID to the allocated rate in bits/s.
+	Rate map[string]float64
+	// Loss maps FlowID to the estimated packet-loss fraction in [0,1].
+	Loss map[string]float64
+	// Saturated lists the IDs of resources whose capacity is fully
+	// consumed, in sorted order.
+	Saturated []string
+}
+
+// LossModel parameterises the Mathis loss response at saturated links.
+type LossModel struct {
+	// MSSBits is the TCP maximum segment size in bits (default 12000,
+	// i.e. 1500 bytes).
+	MSSBits float64
+	// Scale multiplies the Mathis loss estimate; it absorbs constants
+	// (queue behaviour, AIMD variant). Default 2.
+	Scale float64
+	// Base is the floor loss rate applied to every flow crossing a
+	// Link, saturated or not (line noise). Default 1e-4.
+	Base float64
+	// Max clamps the loss estimate. Default 0.2.
+	Max float64
+}
+
+// DefaultLossModel returns the loss parameters used by all testbeds:
+// the equilibrium of loss-based congestion control (Reno/Cubic/HSTCP),
+// whose fairness and loss response the paper's evaluation assumes.
+func DefaultLossModel() LossModel {
+	return LossModel{MSSBits: 12000, Scale: 2, Base: 1e-4, Max: 0.2}
+}
+
+// BBRLossModel returns loss parameters approximating BBR (the paper's
+// §6 future work): a model-based controller probes the bottleneck
+// bandwidth instead of filling queues until drop, so packet loss at a
+// saturated link stays near the floor rather than growing with the
+// flow count. Bandwidth sharing remains near max-min for equal-RTT
+// flows, which BBRv2 approximates.
+func BBRLossModel() LossModel {
+	return LossModel{MSSBits: 12000, Scale: 0.15, Base: 1e-4, Max: 0.02}
+}
+
+// Network is a set of resources plus a loss model.
+type Network struct {
+	resources map[string]*Resource
+	loss      LossModel
+}
+
+// New returns an empty network with the default loss model.
+func New() *Network {
+	return &Network{resources: make(map[string]*Resource), loss: DefaultLossModel()}
+}
+
+// SetLossModel replaces the loss model.
+func (n *Network) SetLossModel(m LossModel) { n.loss = m }
+
+// LossModel returns the current loss model.
+func (n *Network) LossModel() LossModel { return n.loss }
+
+// AddResource registers a resource. It panics on duplicate IDs or
+// non-positive capacity, both of which are programming errors in
+// testbed construction.
+func (n *Network) AddResource(r Resource) {
+	if r.ID == "" {
+		panic("netsim: resource with empty ID")
+	}
+	if r.Capacity <= 0 {
+		panic(fmt.Sprintf("netsim: resource %q has non-positive capacity %v", r.ID, r.Capacity))
+	}
+	if _, dup := n.resources[r.ID]; dup {
+		panic(fmt.Sprintf("netsim: duplicate resource %q", r.ID))
+	}
+	cp := r
+	n.resources[r.ID] = &cp
+}
+
+// SetCapacity adjusts a resource's capacity (used by testbeds to model
+// contention-dependent storage capacity). It panics if the resource
+// does not exist or capacity is not positive.
+func (n *Network) SetCapacity(id string, capacity float64) {
+	r, ok := n.resources[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown resource %q", id))
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: resource %q capacity %v must be positive", id, capacity))
+	}
+	r.Capacity = capacity
+}
+
+// Resource returns a copy of the resource with the given ID.
+func (n *Network) Resource(id string) (Resource, bool) {
+	r, ok := n.resources[id]
+	if !ok {
+		return Resource{}, false
+	}
+	return *r, true
+}
+
+// Allocate computes the max-min fair allocation for the given demands
+// and estimates per-flow loss. It returns an error if any demand
+// references an unknown resource, duplicates a FlowID, or has a
+// non-positive cap.
+func (n *Network) Allocate(demands []Demand) (*Allocation, error) {
+	alloc := &Allocation{
+		Rate: make(map[string]float64, len(demands)),
+		Loss: make(map[string]float64, len(demands)),
+	}
+	if len(demands) == 0 {
+		return alloc, nil
+	}
+
+	// Validate and index.
+	seen := make(map[string]bool, len(demands))
+	for i := range demands {
+		d := &demands[i]
+		if d.FlowID == "" {
+			return nil, fmt.Errorf("netsim: demand %d has empty FlowID", i)
+		}
+		if seen[d.FlowID] {
+			return nil, fmt.Errorf("netsim: duplicate FlowID %q", d.FlowID)
+		}
+		seen[d.FlowID] = true
+		if d.Cap <= 0 {
+			return nil, fmt.Errorf("netsim: flow %q has non-positive cap %v", d.FlowID, d.Cap)
+		}
+		if d.Weight < 0 {
+			return nil, fmt.Errorf("netsim: flow %q has negative weight %d", d.FlowID, d.Weight)
+		}
+		for _, rid := range d.Resources {
+			if _, ok := n.resources[rid]; !ok {
+				return nil, fmt.Errorf("netsim: flow %q references unknown resource %q", d.FlowID, rid)
+			}
+		}
+	}
+
+	rates := n.waterFill(demands)
+	for i := range demands {
+		alloc.Rate[demands[i].FlowID] = rates[i]
+	}
+
+	// Determine saturated resources from the final allocation.
+	used := make(map[string]float64, len(n.resources))
+	for i := range demands {
+		for _, rid := range demands[i].Resources {
+			used[rid] += rates[i] * demands[i].weight()
+		}
+	}
+	const satTol = 1e-6
+	satSet := make(map[string]bool)
+	for rid, u := range used {
+		capv := n.resources[rid].Capacity
+		if u >= capv*(1-satTol) {
+			satSet[rid] = true
+			alloc.Saturated = append(alloc.Saturated, rid)
+		}
+	}
+	sort.Strings(alloc.Saturated)
+
+	// Loss: flows crossing a saturated Link experience Mathis-model
+	// loss for their allocated rate; all link-crossing flows see the
+	// base loss floor.
+	for i := range demands {
+		d := &demands[i]
+		loss := 0.0
+		crossesLink := false
+		for _, rid := range d.Resources {
+			r := n.resources[rid]
+			if r.Kind != Link {
+				continue
+			}
+			crossesLink = true
+			if !satSet[rid] {
+				continue
+			}
+			// The flow is rate-limited elsewhere (cap below its fair
+			// share) only if its rate is strictly below the link fair
+			// share; such flows do not push the queue and see only
+			// base loss from this link.
+			if l := n.mathisLoss(d.RTT, rates[i]); l > loss {
+				loss = l
+			}
+		}
+		if crossesLink {
+			loss += n.loss.Base
+		}
+		if loss > n.loss.Max {
+			loss = n.loss.Max
+		}
+		alloc.Loss[d.FlowID] = loss
+	}
+	return alloc, nil
+}
+
+// mathisLoss inverts the Mathis throughput relation
+// r = MSS/RTT · √(1.5/p) to estimate the equilibrium loss probability a
+// TCP flow sustains while obtaining rate r across a saturated link.
+func (n *Network) mathisLoss(rtt, rate float64) float64 {
+	if rtt <= 0 || rate <= 0 {
+		return n.loss.Max
+	}
+	x := n.loss.Scale * n.loss.MSSBits * math.Sqrt(1.5) / (rtt * rate)
+	p := x * x
+	if p > n.loss.Max {
+		p = n.loss.Max
+	}
+	return p
+}
+
+// waterFill runs progressive filling: raise all unfrozen flows' rates
+// in lockstep until a resource saturates or a flow hits its cap; freeze
+// the affected flows; repeat.
+func (n *Network) waterFill(demands []Demand) []float64 {
+	nf := len(demands)
+	rates := make([]float64, nf)
+	frozen := make([]bool, nf)
+	remaining := make(map[string]float64, len(n.resources))
+	for id, r := range n.resources {
+		remaining[id] = r.Capacity
+	}
+
+	activeWeight := func() map[string]float64 {
+		c := make(map[string]float64)
+		for i := range demands {
+			if frozen[i] {
+				continue
+			}
+			w := demands[i].weight()
+			for _, rid := range demands[i].Resources {
+				c[rid] += w
+			}
+		}
+		return c
+	}
+
+	for iter := 0; iter < nf+len(n.resources)+1; iter++ {
+		counts := activeWeight()
+		// Smallest headroom increment across resources and caps.
+		inc := math.Inf(1)
+		for rid, w := range counts {
+			if w == 0 {
+				continue
+			}
+			if h := remaining[rid] / w; h < inc {
+				inc = h
+			}
+		}
+		anyActive := false
+		for i := range demands {
+			if frozen[i] {
+				continue
+			}
+			anyActive = true
+			if h := demands[i].Cap - rates[i]; h < inc {
+				inc = h
+			}
+		}
+		if !anyActive {
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		// Raise all active flows by inc and charge the resources.
+		for i := range demands {
+			if frozen[i] {
+				continue
+			}
+			rates[i] += inc
+			w := demands[i].weight()
+			for _, rid := range demands[i].Resources {
+				remaining[rid] -= inc * w
+			}
+		}
+		// Freeze flows that hit their cap or traverse an exhausted
+		// resource.
+		const tol = 1e-9
+		exhausted := make(map[string]bool)
+		for rid := range counts {
+			if remaining[rid] <= tol*n.resources[rid].Capacity {
+				exhausted[rid] = true
+			}
+		}
+		progressed := false
+		for i := range demands {
+			if frozen[i] {
+				continue
+			}
+			if rates[i] >= demands[i].Cap-tol*demands[i].Cap {
+				frozen[i] = true
+				progressed = true
+				continue
+			}
+			for _, rid := range demands[i].Resources {
+				if exhausted[rid] {
+					frozen[i] = true
+					progressed = true
+					break
+				}
+			}
+		}
+		if !progressed && inc == 0 {
+			// Nothing can advance: freeze everything still active to
+			// guarantee termination (degenerate zero-headroom state).
+			for i := range frozen {
+				frozen[i] = true
+			}
+		}
+	}
+	return rates
+}

@@ -1,0 +1,195 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Topology is a named graph of nodes connected by capacity/latency
+// edges, with shortest-latency routing. It builds the Resource set and
+// per-flow paths for Network.Allocate, so experiments can express
+// multi-site layouts (the paper's Figure 3 dumbbell, cross-traffic
+// scenarios) instead of a single hardcoded path.
+type Topology struct {
+	nodes map[string]bool
+	edges map[string]*edge // by edge ID
+	adj   map[string][]*edge
+}
+
+type edge struct {
+	id       string
+	a, b     string
+	capacity float64
+	latency  float64 // one-way, seconds
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{
+		nodes: make(map[string]bool),
+		edges: make(map[string]*edge),
+		adj:   make(map[string][]*edge),
+	}
+}
+
+// AddNode registers a node. Adding an existing node is a no-op.
+func (t *Topology) AddNode(name string) {
+	if name == "" {
+		panic("netsim: empty node name")
+	}
+	t.nodes[name] = true
+}
+
+// AddLink connects two existing nodes with a bidirectional link of the
+// given capacity (bits/s) and one-way latency (seconds). The edge ID
+// must be unique. It panics on unknown nodes or bad parameters —
+// topology construction errors are programming errors.
+func (t *Topology) AddLink(id, a, b string, capacity, latency float64) {
+	if id == "" {
+		panic("netsim: empty link ID")
+	}
+	if _, dup := t.edges[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link %q", id))
+	}
+	if !t.nodes[a] || !t.nodes[b] {
+		panic(fmt.Sprintf("netsim: link %q references unknown node (%q, %q)", id, a, b))
+	}
+	if capacity <= 0 || latency < 0 {
+		panic(fmt.Sprintf("netsim: link %q bad parameters cap=%v lat=%v", id, capacity, latency))
+	}
+	e := &edge{id: id, a: a, b: b, capacity: capacity, latency: latency}
+	t.edges[id] = e
+	t.adj[a] = append(t.adj[a], e)
+	t.adj[b] = append(t.adj[b], e)
+}
+
+// Nodes returns the sorted node names.
+func (t *Topology) Nodes() []string {
+	out := make([]string, 0, len(t.nodes))
+	for n := range t.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resources returns one Link resource per edge, for Network construction.
+func (t *Topology) Resources() []Resource {
+	ids := make([]string, 0, len(t.edges))
+	for id := range t.edges {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Resource, 0, len(ids))
+	for _, id := range ids {
+		e := t.edges[id]
+		out = append(out, Resource{ID: e.id, Kind: Link, Capacity: e.capacity})
+	}
+	return out
+}
+
+// Route returns the minimum-latency path between two nodes as edge IDs
+// plus the path's round-trip time (2× the summed one-way latencies).
+// It returns an error when either node is unknown or no path exists.
+func (t *Topology) Route(from, to string) (links []string, rtt float64, err error) {
+	if !t.nodes[from] {
+		return nil, 0, fmt.Errorf("netsim: unknown node %q", from)
+	}
+	if !t.nodes[to] {
+		return nil, 0, fmt.Errorf("netsim: unknown node %q", to)
+	}
+	if from == to {
+		return nil, 0, nil
+	}
+	// Dijkstra over latency; topologies are small (tens of nodes), so
+	// a linear-scan priority selection is fine.
+	dist := map[string]float64{from: 0}
+	prevEdge := map[string]*edge{}
+	visited := map[string]bool{}
+	for {
+		cur, best := "", math.Inf(1)
+		for n, d := range dist {
+			if !visited[n] && d < best {
+				cur, best = n, d
+			}
+		}
+		if cur == "" {
+			break
+		}
+		if cur == to {
+			break
+		}
+		visited[cur] = true
+		for _, e := range t.adj[cur] {
+			next := e.b
+			if next == cur {
+				next = e.a
+			}
+			if nd := best + e.latency; nd < distOr(dist, next) {
+				dist[next] = nd
+				prevEdge[next] = e
+			}
+		}
+	}
+	if _, ok := dist[to]; !ok {
+		return nil, 0, fmt.Errorf("netsim: no path from %q to %q", from, to)
+	}
+	// Walk back.
+	for n := to; n != from; {
+		e := prevEdge[n]
+		links = append(links, e.id)
+		if e.a == n {
+			n = e.b
+		} else {
+			n = e.a
+		}
+	}
+	// Reverse into from→to order.
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	return links, 2 * dist[to], nil
+}
+
+func distOr(m map[string]float64, k string) float64 {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return math.Inf(1)
+}
+
+// BuildNetwork constructs a Network containing every edge as a Link
+// resource.
+func (t *Topology) BuildNetwork() *Network {
+	n := New()
+	for _, r := range t.Resources() {
+		n.AddResource(r)
+	}
+	return n
+}
+
+// Dumbbell returns the paper's Figure 3 topology: sender-side hosts and
+// receiver-side hosts on fast access links joined by one bottleneck
+// link, plus the route helper outputs for a transfer between the first
+// host pair.
+//
+//	senders → [access 1G] → switchA —[bottleneck]— switchB → receivers
+func Dumbbell(hosts int, accessCap, bottleneckCap, bottleneckLatency float64) *Topology {
+	if hosts < 1 {
+		panic("netsim: dumbbell needs at least one host pair")
+	}
+	t := NewTopology()
+	t.AddNode("switchA")
+	t.AddNode("switchB")
+	t.AddLink("bottleneck", "switchA", "switchB", bottleneckCap, bottleneckLatency)
+	for i := 0; i < hosts; i++ {
+		src := fmt.Sprintf("src%d", i)
+		dst := fmt.Sprintf("dst%d", i)
+		t.AddNode(src)
+		t.AddNode(dst)
+		t.AddLink("access-"+src, src, "switchA", accessCap, 0.0005)
+		t.AddLink("access-"+dst, dst, "switchB", accessCap, 0.0005)
+	}
+	return t
+}

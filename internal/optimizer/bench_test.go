@@ -1,0 +1,36 @@
+package optimizer
+
+import "testing"
+
+// BenchmarkGradientDescentNext measures one GD decision step.
+func BenchmarkGradientDescentNext(b *testing.B) {
+	util := emulabUtility(10e6, 100e6)
+	gd := NewGradientDescent(64)
+	n := 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n = gd.Next(Observation{N: n, Utility: util(n)})
+	}
+}
+
+// BenchmarkHillClimbingNext measures one HC decision step.
+func BenchmarkHillClimbingNext(b *testing.B) {
+	util := emulabUtility(10e6, 100e6)
+	hc := NewHillClimbing(64)
+	n := 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n = hc.Next(Observation{N: n, Utility: util(n)})
+	}
+}
+
+// BenchmarkConjugateGDNextVec measures one multi-parameter decision.
+func BenchmarkConjugateGDNextVec(b *testing.B) {
+	util := wanUtility2D(0.5, 2, 20)
+	cgd := NewConjugateGD([]int{1, 1}, []int{64, 16})
+	x := []int{2, 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = cgd.NextVec(VecObservation{X: x, Utility: util(x)})
+	}
+}

@@ -1,0 +1,113 @@
+package optimizer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDirectSearchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDirectSearch(0) did not panic")
+		}
+	}()
+	NewDirectSearch(0)
+}
+
+func TestNewSPSAPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSPSA(0, 1) did not panic")
+		}
+	}()
+	NewSPSA(0, 1)
+}
+
+func TestRelatedSearchNames(t *testing.T) {
+	if NewDirectSearch(8).Name() != "direct-search" {
+		t.Error("wrong DirectSearch name")
+	}
+	if NewSPSA(8, 1).Name() != "spsa" {
+		t.Error("wrong SPSA name")
+	}
+}
+
+func TestDirectSearchFindsOptimum(t *testing.T) {
+	util := emulabUtility(10e6, 100e6) // optimum 10
+	ds := NewDirectSearch(32)
+	visited := drive(ds, util, 2, 80)
+	// The incumbent must settle near 10.
+	if c := ds.Center(); c < 8 || c > 13 {
+		t.Fatalf("DirectSearch center = %d, want ≈10 (visits %v)", c, visited[:20])
+	}
+	// Fully contracted: the tail keeps polling near the optimum.
+	for _, v := range visited[60:] {
+		if v < 6 || v > 15 {
+			t.Fatalf("tail excursion to %d", v)
+		}
+	}
+}
+
+func TestDirectSearchLargeOptimum(t *testing.T) {
+	util := emulabUtility(20.83e6, 1e9) // optimum ≈48
+	ds := NewDirectSearch(100)
+	drive(ds, util, 2, 120)
+	if c := ds.Center(); c < 40 || c > 58 {
+		t.Fatalf("DirectSearch center = %d, want ≈48", c)
+	}
+}
+
+func TestSPSADriftsTowardOptimum(t *testing.T) {
+	util := emulabUtility(10e6, 100e6) // optimum 10
+	spsa := NewSPSA(32, 7)
+	drive(spsa, util, 2, 300)
+	if c := spsa.Center(); c < 7 || c > 14 {
+		t.Fatalf("SPSA center = %d, want ≈10", c)
+	}
+}
+
+func TestSPSASlowerThanGD(t *testing.T) {
+	// The §5 critique of stochastic approximation: far more samples to
+	// converge than GD's confidence-accelerated steps.
+	util := emulabUtility(20.83e6, 1e9) // optimum ≈48
+	reach := func(s Search, start, maxSteps int) int {
+		n := start
+		for i := 0; i < maxSteps; i++ {
+			n = s.Next(Observation{N: n, Utility: util(n)})
+			if n >= 43 && n <= 56 {
+				return i
+			}
+		}
+		return maxSteps
+	}
+	gdSteps := reach(NewGradientDescent(100), 2, 600)
+	spsaSteps := reach(NewSPSA(100, 3), 2, 600)
+	if gdSteps >= 600 {
+		t.Fatal("GD never reached the optimum")
+	}
+	if spsaSteps < 2*gdSteps {
+		t.Fatalf("SPSA (%d samples) should be ≫ slower than GD (%d)", spsaSteps, gdSteps)
+	}
+}
+
+// Property: both related searches stay in bounds under arbitrary
+// utility streams.
+func TestRelatedSearchBoundsProperty(t *testing.T) {
+	f := func(utils []float64, maxN8 uint8) bool {
+		maxN := int(maxN8%50) + 1
+		ds := NewDirectSearch(maxN)
+		sp := NewSPSA(maxN, 5)
+		n1, n2 := 1, 1
+		for _, u := range utils {
+			n1 = ds.Next(Observation{N: n1, Utility: u})
+			n2 = sp.Next(Observation{N: n2, Utility: u})
+			if n1 < 1 || n1 > maxN || n2 < 1 || n2 > maxN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package probe implements the capacity-profiling methodology of the
+// paper's §4: before running experiments, the authors used Iperf and
+// bonnie++ to capture the "true" capacity of network and storage
+// resources and thereby identify each testbed's bottleneck (Table 1).
+//
+// The probes here do the same against a simulated testbed — purely by
+// running measurement transfers through the engine, never by reading
+// the configuration — so they validate that the simulator's observable
+// behaviour matches its declared capacities, and they supply the
+// ground-truth "optimal concurrency" used by convergence analyses.
+package probe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/testbed"
+	"repro/internal/transfer"
+)
+
+// Report is the outcome of profiling one testbed.
+type Report struct {
+	// Testbed is the profiled configuration's name.
+	Testbed string
+	// SingleStream is the throughput of one connection in bits/s —
+	// what a single-stream Iperf run would report.
+	SingleStream float64
+	// PathCapacity is the end-to-end capacity with ample parallelism,
+	// in bits/s — a multi-stream Iperf run.
+	PathCapacity float64
+	// SaturationConcurrency is the smallest concurrency within tol of
+	// PathCapacity — the environment's optimal concurrency.
+	SaturationConcurrency int
+	// LossAtSaturation is the packet-loss fraction observed at the
+	// saturating concurrency.
+	LossAtSaturation float64
+	// LossAtDouble is the loss at twice the saturating concurrency —
+	// the congestion cost of overshooting (Figure 4's regime).
+	LossAtDouble float64
+}
+
+// String renders the report in one line.
+func (r Report) String() string {
+	return fmt.Sprintf("%s: single %.2f Gbps, path %.2f Gbps, saturation cc=%d, loss %.2f%%→%.2f%%",
+		r.Testbed, r.SingleStream/1e9, r.PathCapacity/1e9,
+		r.SaturationConcurrency, r.LossAtSaturation*100, r.LossAtDouble*100)
+}
+
+// Options tunes a profiling run.
+type Options struct {
+	// MaxConcurrency bounds the sweep. Default 64.
+	MaxConcurrency int
+	// Tolerance is the relative shortfall from peak throughput treated
+	// as saturated. Default 0.03.
+	Tolerance float64
+	// SettleTime and MeasureTime control each sample, in simulated
+	// seconds. Defaults 12 and 6.
+	SettleTime, MeasureTime float64
+	// Seed feeds the engine's noise.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.MaxConcurrency <= 0 {
+		o.MaxConcurrency = 64
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.03
+	}
+	if o.SettleTime <= 0 {
+		o.SettleTime = 12
+	}
+	if o.MeasureTime <= 0 {
+		o.MeasureTime = 6
+	}
+}
+
+// Profile sweeps concurrency on the testbed and derives the report.
+// It uses a doubling sweep (1, 2, 4, …) to find the plateau, then
+// refines the knee with a linear scan — the strategy keeps sample
+// counts near 2·log₂(max) + knee width rather than max.
+func Profile(cfg testbed.Config, opts Options) (Report, error) {
+	opts.defaults()
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	cfg.NoiseStdDev = 0 // profiling tools average out noise; so do we
+
+	mk := func() *transfer.Task {
+		t, err := transfer.NewTask("probe", dataset.Uniform("probe", 50000, int64(dataset.GB)), transfer.DefaultSetting())
+		if err != nil {
+			panic(err) // static inputs
+		}
+		return t
+	}
+	measure := func(ns []int) ([]float64, []float64, error) {
+		return testbed.SweepConcurrency(cfg, opts.Seed, mk, ns, opts.SettleTime, opts.MeasureTime)
+	}
+
+	// Doubling sweep to find the plateau.
+	var ns []int
+	for n := 1; n <= opts.MaxConcurrency; n *= 2 {
+		ns = append(ns, n)
+	}
+	tputs, _, err := measure(ns)
+	if err != nil {
+		return Report{}, err
+	}
+	peak := 0.0
+	for _, t := range tputs {
+		peak = math.Max(peak, t)
+	}
+	report := Report{
+		Testbed:      cfg.Name,
+		SingleStream: tputs[0] * 1e9,
+		PathCapacity: peak * 1e9,
+	}
+
+	// Bracket the knee: the first doubling point within tolerance.
+	hi := ns[len(ns)-1]
+	lo := 1
+	for i, t := range tputs {
+		if t >= peak*(1-opts.Tolerance) {
+			hi = ns[i]
+			if i > 0 {
+				lo = ns[i-1]
+			}
+			break
+		}
+	}
+	// Linear refinement within (lo, hi].
+	knee := hi
+	if hi > lo+1 {
+		var scan []int
+		for n := lo + 1; n <= hi; n++ {
+			scan = append(scan, n)
+		}
+		scanT, _, err := measure(scan)
+		if err != nil {
+			return Report{}, err
+		}
+		for i, t := range scanT {
+			if t >= peak*(1-opts.Tolerance) {
+				knee = scan[i]
+				break
+			}
+		}
+	}
+	report.SaturationConcurrency = knee
+
+	// Loss at the knee and at 2× the knee.
+	double := knee * 2
+	if double > opts.MaxConcurrency {
+		double = opts.MaxConcurrency
+	}
+	_, losses, err := measure([]int{knee, double})
+	if err != nil {
+		return Report{}, err
+	}
+	report.LossAtSaturation = losses[0]
+	report.LossAtDouble = losses[1]
+	return report, nil
+}
+
+// Bottleneck classifies the binding constraint from a report and the
+// configuration's declared capacities — the inference the paper makes
+// from its Iperf/bonnie++ numbers in Table 1.
+func Bottleneck(cfg testbed.Config, r Report) string {
+	type cand struct {
+		name string
+		cap  float64
+	}
+	cands := []cand{
+		{"Disk Read", cfg.SrcStore.AggregateCap},
+		{"Disk Write", cfg.DstStore.AggregateCap},
+		{"NIC", math.Min(cfg.SrcHost.NICCap, cfg.DstHost.NICCap)},
+		{"Network", cfg.LinkCapacity},
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].cap < cands[j].cap })
+	// The measured path capacity should sit at the narrowest declared
+	// resource; report that resource's class.
+	return cands[0].name
+}

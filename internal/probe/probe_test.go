@@ -1,0 +1,88 @@
+package probe
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+func TestProfileEmulab(t *testing.T) {
+	r, err := Profile(testbed.Emulab(10e6), Options{MaxConcurrency: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.SingleStream-10e6) > 1e6 {
+		t.Fatalf("single stream = %v, want ≈10 Mbps (per-process throttle)", r.SingleStream)
+	}
+	if math.Abs(r.PathCapacity-100e6) > 8e6 {
+		t.Fatalf("path capacity = %v, want ≈100 Mbps", r.PathCapacity)
+	}
+	if r.SaturationConcurrency < 9 || r.SaturationConcurrency > 11 {
+		t.Fatalf("saturation cc = %d, want ≈10", r.SaturationConcurrency)
+	}
+	if r.LossAtDouble <= r.LossAtSaturation {
+		t.Fatalf("doubling concurrency should raise loss: %v vs %v", r.LossAtDouble, r.LossAtSaturation)
+	}
+}
+
+func TestProfileHPCLab(t *testing.T) {
+	r, err := Profile(testbed.HPCLab(), Options{MaxConcurrency: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PathCapacity < 24e9 || r.PathCapacity > 28e9 {
+		t.Fatalf("path capacity = %v, want ≈27 Gbps (write bottleneck)", r.PathCapacity)
+	}
+	if r.SaturationConcurrency < 8 || r.SaturationConcurrency > 11 {
+		t.Fatalf("saturation cc = %d, want ≈9 (§4.1)", r.SaturationConcurrency)
+	}
+	// Sender-limited: no meaningful loss even past saturation.
+	if r.LossAtDouble > 0.005 {
+		t.Fatalf("loss at 2x = %v, want ≈0 on a loss-free bottleneck", r.LossAtDouble)
+	}
+}
+
+func TestProfileRejectsInvalidConfig(t *testing.T) {
+	cfg := testbed.Emulab(10e6)
+	cfg.RTT = -1
+	if _, err := Profile(cfg, Options{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Testbed: "x", SingleStream: 1e9, PathCapacity: 10e9, SaturationConcurrency: 10, LossAtSaturation: 0.001, LossAtDouble: 0.02}
+	s := r.String()
+	for _, want := range []string{"x:", "1.00 Gbps", "10.00 Gbps", "cc=10"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestBottleneckClassification(t *testing.T) {
+	cases := []struct {
+		cfg  testbed.Config
+		want string
+	}{
+		{testbed.Emulab(10e6), "Network"},
+		{testbed.XSEDE(), "Disk Read"},
+		{testbed.HPCLab(), "Disk Write"},
+		{testbed.CampusCluster(), "NIC"},
+	}
+	for _, c := range cases {
+		if got := Bottleneck(c.cfg, Report{}); got != c.want {
+			t.Errorf("%s: Bottleneck = %q, want %q", c.cfg.Name, got, c.want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.MaxConcurrency != 64 || o.Tolerance != 0.03 || o.SettleTime != 12 || o.MeasureTime != 6 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,284 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !approx(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !approx(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{1}); got != 0 {
+		t.Errorf("Variance of 1 element = %v, want 0", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Sum(xs); got != 11 {
+		t.Errorf("Sum = %v", got)
+	}
+}
+
+func TestMinEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 20 {
+		t.Errorf("P25 = %v", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); !approx(got, 2.5, 1e-12) {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(.., 101) did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{10, 10, 10}); !approx(got, 1, 1e-12) {
+		t.Errorf("equal allocation J = %v, want 1", got)
+	}
+	// One agent takes everything: J = 1/n.
+	if got := JainIndex([]float64{30, 0, 0}); !approx(got, 1.0/3, 1e-12) {
+		t.Errorf("monopoly J = %v, want 1/3", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty J = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero J = %v, want 0", got)
+	}
+}
+
+// Property: Jain index always lies in [1/n, 1] for non-negative,
+// not-all-zero allocations, and is scale invariant.
+func TestJainIndexProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := math.Abs(r)
+			if math.IsInf(v, 0) || math.IsNaN(v) || v > 1e100 {
+				return true
+			}
+			xs = append(xs, v)
+		}
+		if Sum(xs) == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		n := float64(len(xs))
+		if j < 1/n-1e-9 || j > 1+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 3.5 * x
+		}
+		return approx(JainIndex(scaled), j, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA reports initialized")
+	}
+	e.Update(10)
+	if e.Value() != 10 {
+		t.Fatalf("first update = %v, want 10", e.Value())
+	}
+	e.Update(20)
+	if !approx(e.Value(), 15, 1e-12) {
+		t.Fatalf("second update = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = 3 + 2x exactly.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{3, 5, 7, 9}
+	a, b, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatalf("LinearFit: %v", err)
+	}
+	if !approx(a, 3, 1e-12) || !approx(b, 2, 1e-12) {
+		t.Fatalf("fit = (%v, %v), want (3, 2)", a, b)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("LinearFit with one point did not error")
+	}
+	if _, _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("LinearFit with constant x did not error")
+	}
+	if _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("LinearFit with mismatched lengths did not error")
+	}
+}
+
+func TestPolyFitExactQuadratic(t *testing.T) {
+	// y = 1 - 2x + 0.5x²
+	want := []float64{1, -2, 0.5}
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = PolyEval(want, x)
+	}
+	coef, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("PolyFit: %v", err)
+	}
+	for i := range want {
+		if !approx(coef[i], want[i], 1e-8) {
+			t.Fatalf("coef = %v, want %v", coef, want)
+		}
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 2); err == nil {
+		t.Error("PolyFit with too few points did not error")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("PolyFit with mismatched lengths did not error")
+	}
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("PolyFit with negative degree did not error")
+	}
+}
+
+// Property: PolyFit recovers a random cubic exactly when given exact
+// samples at distinct points.
+func TestPolyFitRecoveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		coef := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		xs := []float64{-3, -2, -1, 0, 1, 2, 3, 4}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = PolyEval(coef, x)
+		}
+		got, err := PolyFit(xs, ys, 3)
+		if err != nil {
+			return false
+		}
+		for i := range coef {
+			if !approx(got[i], coef[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 50; i++ {
+		if !f() {
+			t.Fatal("PolyFit failed to recover a random cubic")
+		}
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	// 2 + 3x + x² at x=2 → 2+6+4 = 12
+	if got := PolyEval([]float64{2, 3, 1}, 2); got != 12 {
+		t.Fatalf("PolyEval = %v, want 12", got)
+	}
+	if got := PolyEval(nil, 5); got != 0 {
+		t.Fatalf("PolyEval(nil) = %v, want 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := Clamp(-1, 0, 3); got != 0 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := Clamp(2, 0, 3); got != 2 {
+		t.Errorf("Clamp mid = %v", got)
+	}
+	if got := ClampInt(10, 1, 4); got != 4 {
+		t.Errorf("ClampInt high = %v", got)
+	}
+	if got := ClampInt(0, 1, 4); got != 1 {
+		t.Errorf("ClampInt low = %v", got)
+	}
+	if got := ClampInt(2, 1, 4); got != 2 {
+		t.Errorf("ClampInt mid = %v", got)
+	}
+}

@@ -1,0 +1,55 @@
+package testbed
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/transfer"
+)
+
+// BenchmarkEngineStepThreeTasks measures one simulation tick with three
+// active multi-connection tasks — the inner loop of every experiment.
+func BenchmarkEngineStepThreeTasks(b *testing.B) {
+	eng, err := NewEngine(HPCLab(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		task, err := transfer.NewTask(fmt.Sprintf("t%d", i),
+			dataset.Uniform(fmt.Sprintf("t%d", i), 100000, int64(dataset.GB)),
+			transfer.Setting{Concurrency: 16, Parallelism: 2, Pipelining: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.AddTask(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(0.25)
+	}
+}
+
+// BenchmarkSchedulerRunMinute measures a full scheduled minute of
+// simulated time with a fixed controller.
+func BenchmarkSchedulerRunMinute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, err := NewEngine(Emulab(10e6), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := NewScheduler(eng, 1)
+		task, err := transfer.NewTask("t", dataset.Uniform("t", 10000, int64(dataset.GB)),
+			transfer.Setting{Concurrency: 10, Parallelism: 1, Pipelining: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Add(Participant{Task: task, Controller: FixedController{S: task.Setting()}}); err != nil {
+			b.Fatal(err)
+		}
+		s.Run(60, 0.25)
+	}
+}

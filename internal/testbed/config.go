@@ -1,0 +1,226 @@
+// Package testbed composes the network, storage, and host substrates
+// into the named environments of the paper's Table 1 and drives
+// multiple independent transfer tasks through them in simulated time.
+//
+// A Config captures the static properties of an end-to-end path
+// (source store → source host → network → destination host →
+// destination store). The Engine advances simulated time in small
+// ticks, computing each tick's max-min fair allocation across every
+// active connection of every task, applying TCP slow-start ramping and
+// pipelining efficiency, and accumulating transferred bytes. The
+// Scheduler layers decision epochs on top: at each task's sample
+// interval it assembles a transfer.Sample (noisy throughput + loss) and
+// asks the task's Controller — a Falcon agent or a baseline — for the
+// next setting.
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/hostsim"
+	"repro/internal/iosim"
+)
+
+// Config describes one end-to-end transfer environment.
+type Config struct {
+	// Name identifies the testbed ("emulab", "xsede", …).
+	Name string
+	// SrcStore and DstStore are the storage endpoints.
+	SrcStore, DstStore iosim.Store
+	// SrcHost and DstHost are the data transfer nodes.
+	SrcHost, DstHost hostsim.Host
+	// LinkCapacity is the network path capacity in bits/s.
+	LinkCapacity float64
+	// RTT is the end-to-end round-trip time in seconds.
+	RTT float64
+	// SampleInterval is the default duration of one sample transfer in
+	// seconds (3 s for LAN, 5 s for WAN per §4).
+	SampleInterval float64
+	// NoiseStdDev is the relative standard deviation of throughput
+	// measurement noise (e.g. 0.015 → 1.5 %).
+	NoiseStdDev float64
+	// RampTau is the time constant, in seconds, of the exponential
+	// approach of a task's rate to its equilibrium allocation (TCP
+	// slow start plus connection establishment). Zero means a default
+	// derived from the RTT.
+	RampTau float64
+	// Bottleneck documents the intended binding constraint, as in
+	// Table 1 ("Network", "Disk Read", "Disk Write", "NIC").
+	Bottleneck string
+	// Congestion selects the transport's congestion-control behaviour:
+	// "" or "cubic" uses the loss-based default; "bbr" uses the
+	// model-based approximation (§6 future work) — near-zero loss at
+	// saturation and a faster ramp.
+	Congestion string
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("testbed: empty name")
+	}
+	if err := c.SrcStore.Validate(); err != nil {
+		return fmt.Errorf("testbed %q src store: %w", c.Name, err)
+	}
+	if err := c.DstStore.Validate(); err != nil {
+		return fmt.Errorf("testbed %q dst store: %w", c.Name, err)
+	}
+	if err := c.SrcHost.Validate(); err != nil {
+		return fmt.Errorf("testbed %q src host: %w", c.Name, err)
+	}
+	if err := c.DstHost.Validate(); err != nil {
+		return fmt.Errorf("testbed %q dst host: %w", c.Name, err)
+	}
+	if c.LinkCapacity <= 0 {
+		return fmt.Errorf("testbed %q link capacity %v must be positive", c.Name, c.LinkCapacity)
+	}
+	if c.RTT <= 0 {
+		return fmt.Errorf("testbed %q RTT %v must be positive", c.Name, c.RTT)
+	}
+	if c.SampleInterval <= 0 {
+		return fmt.Errorf("testbed %q sample interval %v must be positive", c.Name, c.SampleInterval)
+	}
+	if c.NoiseStdDev < 0 || c.NoiseStdDev > 0.5 {
+		return fmt.Errorf("testbed %q noise %v outside [0, 0.5]", c.Name, c.NoiseStdDev)
+	}
+	if c.RampTau < 0 {
+		return fmt.Errorf("testbed %q negative ramp tau %v", c.Name, c.RampTau)
+	}
+	switch c.Congestion {
+	case "", "cubic", "bbr":
+	default:
+		return fmt.Errorf("testbed %q unknown congestion model %q", c.Name, c.Congestion)
+	}
+	return nil
+}
+
+// rampTau returns the effective ramp time constant.
+func (c *Config) rampTau() float64 {
+	if c.RampTau > 0 {
+		return c.RampTau
+	}
+	// Slow start needs ~log2(W) RTTs plus process/connection spin-up;
+	// 1 s floor models connection establishment cost (§3.2 footnote 2).
+	// BBR's explicit bandwidth probing reaches the fair share in fewer
+	// RTTs than loss-based slow start.
+	mult := 25.0
+	if c.Congestion == "bbr" {
+		mult = 10
+	}
+	tau := mult * c.RTT
+	if tau < 1 {
+		tau = 1
+	}
+	return tau
+}
+
+// Emulab returns the emulated testbed of Figures 3–4: 1 Gbps
+// bottleneck link, 30 ms RTT, direct-attached disk with the per-process
+// read throughput throttled to perProcIO bits/s. With perProcIO = 10
+// Mbps, ten concurrent transfers saturate the link (§2); with ≈20.8
+// Mbps, 48 are required (§4.1, §4.2).
+func Emulab(perProcIO float64) Config {
+	return Config{
+		Name:     "emulab",
+		SrcStore: iosim.EmulabDisk(perProcIO),
+		// Destination writes to local disk at full speed; not binding.
+		DstStore:       iosim.Store{Name: "emulab-dst", PerProcCap: 1e9, AggregateCap: 2e9},
+		SrcHost:        hostsim.DTN("emulab-src", 1e9),
+		DstHost:        hostsim.DTN("emulab-dst", 1e9),
+		LinkCapacity:   100e6, // the Figure 3 bottleneck link
+		RTT:            0.030,
+		SampleInterval: 3,
+		NoiseStdDev:    0.01,
+		Bottleneck:     "Network",
+	}
+}
+
+// EmulabGigabit returns the Emulab variant whose bottleneck link is the
+// full 1 Gbps (used in §4.1/§4.2 where 48–50 concurrent transfers are
+// needed at ≈20 Mbps per process).
+func EmulabGigabit(perProcIO float64) Config {
+	c := Emulab(perProcIO)
+	c.Name = "emulab-1g"
+	c.LinkCapacity = 1e9
+	return c
+}
+
+// XSEDE returns the OSG–Comet production path: Lustre storage whose
+// aggregate *read* capacity (≈5.8 Gbps) is below the 10 Gbps network,
+// 40 ms RTT.
+func XSEDE() Config {
+	return Config{
+		Name:           "xsede",
+		SrcStore:       iosim.LustreXSEDE(),
+		DstStore:       iosim.Store{Name: "comet-lustre", PerProcCap: 2e9, AggregateCap: 24e9, ContentionRate: 0.003},
+		SrcHost:        hostsim.DTN("osg-dtn", 10e9),
+		DstHost:        hostsim.DTN("comet-dtn", 10e9),
+		LinkCapacity:   10e9,
+		RTT:            0.040,
+		SampleInterval: 5,
+		NoiseStdDev:    0.02,
+		Bottleneck:     "Disk Read",
+	}
+}
+
+// HPCLab returns the isolated lab cluster: 40 Gbps LAN, 0.1 ms RTT,
+// NVMe RAID whose aggregate *write* capacity (~27 Gbps, reached with ≈9
+// writers) is the bottleneck.
+func HPCLab() Config {
+	return Config{
+		Name:           "hpclab",
+		SrcStore:       iosim.Store{Name: "hpclab-src", PerProcCap: 6e9, AggregateCap: 38e9, ContentionRate: 0.003},
+		DstStore:       iosim.NVMeRAIDHPCLab(),
+		SrcHost:        hostsim.DTN("hpclab-src", 40e9),
+		DstHost:        hostsim.DTN("hpclab-dst", 40e9),
+		LinkCapacity:   40e9,
+		RTT:            0.0001,
+		SampleInterval: 3,
+		NoiseStdDev:    0.015,
+		Bottleneck:     "Disk Write",
+	}
+}
+
+// CampusCluster returns the campus GPFS cluster: storage exceeds the
+// 10 Gbps NIC, so the NIC binds (§4.1 reports ≈9.2 Gbps).
+func CampusCluster() Config {
+	return Config{
+		Name:           "campus",
+		SrcStore:       iosim.GPFSCampus(),
+		DstStore:       iosim.Store{Name: "gpfs-campus-dst", PerProcCap: 2.5e9, AggregateCap: 16e9, ContentionRate: 0.003},
+		SrcHost:        hostsim.DTN("campus-src", 10e9),
+		DstHost:        hostsim.DTN("campus-dst", 10e9),
+		LinkCapacity:   20e9, // LAN fabric above the NIC
+		RTT:            0.0001,
+		SampleInterval: 3,
+		NoiseStdDev:    0.015,
+		Bottleneck:     "NIC",
+	}
+}
+
+// StampedeCometWAN returns the 40 Gbps, 60 ms wide-area path between
+// Stampede2 and Comet used by §4.4 (multi-parameter optimization) and
+// §4.5 (friendliness). Petascale Lustre on both ends leaves the WAN
+// path as the eventual bottleneck; per-stream rates are TCP-window
+// bound, making parallelism useful for large files.
+func StampedeCometWAN() Config {
+	return Config{
+		Name:           "stampede-comet",
+		SrcStore:       iosim.LustrePetascale(),
+		DstStore:       iosim.LustrePetascale(),
+		SrcHost:        hostsim.DTN("stampede-dtn", 40e9),
+		DstHost:        hostsim.DTN("comet-dtn", 40e9),
+		LinkCapacity:   40e9,
+		RTT:            0.060,
+		SampleInterval: 5,
+		NoiseStdDev:    0.02,
+		Bottleneck:     "Network",
+	}
+}
+
+// Table1 returns the four evaluation testbeds in the order of the
+// paper's Table 1. Emulab uses the 10 Mbps per-process throttle (ten
+// concurrent transfers saturate the 100 Mbps link — Figures 9a/10a).
+func Table1() []Config {
+	return []Config{Emulab(10e6), XSEDE(), HPCLab(), CampusCluster()}
+}

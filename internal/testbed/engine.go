@@ -1,0 +1,344 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/transfer"
+)
+
+// Resource IDs used in the engine's network model.
+const (
+	resSrcStore = "src-store"
+	resDstStore = "dst-store"
+	resSrcNIC   = "src-nic"
+	resDstNIC   = "dst-nic"
+	resSrcCPU   = "src-cpu"
+	resDstCPU   = "dst-cpu"
+	resLink     = "link"
+)
+
+// taskState is the engine's per-task dynamic state.
+type taskState struct {
+	task *transfer.Task
+	// rate is the smoothed aggregate rate in bits/s (ramping toward the
+	// equilibrium allocation).
+	rate float64
+	// loss is the most recent equilibrium loss estimate.
+	loss float64
+	// Measurement-window accumulators.
+	windowStart   float64
+	windowBytes   float64
+	windowLossSum float64 // time-weighted loss integral
+	windowDur     float64
+}
+
+// Engine advances a set of transfer tasks through a Config's resources
+// in simulated time. It is deterministic for a given seed.
+type Engine struct {
+	cfg   Config
+	net   *netsim.Network
+	rng   *rand.Rand
+	now   float64
+	state map[string]*taskState
+	order []string // deterministic task iteration order
+}
+
+// NewEngine validates cfg and returns an engine seeded for
+// deterministic noise.
+func NewEngine(cfg Config, seed int64) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := netsim.New()
+	n.AddResource(netsim.Resource{ID: resSrcStore, Kind: netsim.Storage, Capacity: cfg.SrcStore.AggregateCap})
+	n.AddResource(netsim.Resource{ID: resDstStore, Kind: netsim.Storage, Capacity: cfg.DstStore.AggregateCap})
+	n.AddResource(netsim.Resource{ID: resSrcNIC, Kind: netsim.NIC, Capacity: cfg.SrcHost.NICCap})
+	n.AddResource(netsim.Resource{ID: resDstNIC, Kind: netsim.NIC, Capacity: cfg.DstHost.NICCap})
+	n.AddResource(netsim.Resource{ID: resSrcCPU, Kind: netsim.CPU, Capacity: cfg.SrcHost.CPUCap})
+	n.AddResource(netsim.Resource{ID: resDstCPU, Kind: netsim.CPU, Capacity: cfg.DstHost.CPUCap})
+	n.AddResource(netsim.Resource{ID: resLink, Kind: netsim.Link, Capacity: cfg.LinkCapacity})
+	if cfg.Congestion == "bbr" {
+		n.SetLossModel(netsim.BBRLossModel())
+	}
+	return &Engine{
+		cfg:   cfg,
+		net:   n,
+		rng:   rand.New(rand.NewSource(seed)),
+		state: make(map[string]*taskState),
+	}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// AddTask registers a task. The task starts transferring on the next
+// Step. It returns an error on duplicate IDs.
+func (e *Engine) AddTask(t *transfer.Task) error {
+	if t == nil {
+		return fmt.Errorf("testbed: nil task")
+	}
+	if _, dup := e.state[t.ID()]; dup {
+		return fmt.Errorf("testbed: duplicate task %q", t.ID())
+	}
+	e.state[t.ID()] = &taskState{task: t, windowStart: e.now}
+	e.order = append(e.order, t.ID())
+	return nil
+}
+
+// RemoveTask deregisters a task (e.g. a departing competitor). Removing
+// an unknown ID is a no-op.
+func (e *Engine) RemoveTask(id string) {
+	if _, ok := e.state[id]; !ok {
+		return
+	}
+	delete(e.state, id)
+	for i, tid := range e.order {
+		if tid == id {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Task returns the task with the given ID, or nil.
+func (e *Engine) Task(id string) *transfer.Task {
+	if st, ok := e.state[id]; ok {
+		return st.task
+	}
+	return nil
+}
+
+// TaskIDs returns the registered task IDs in insertion order.
+func (e *Engine) TaskIDs() []string {
+	return append([]string(nil), e.order...)
+}
+
+// CurrentRate returns the task's instantaneous (smoothed) throughput in
+// bits/s, or 0 for unknown tasks.
+func (e *Engine) CurrentRate(id string) float64 {
+	if st, ok := e.state[id]; ok {
+		return st.rate
+	}
+	return 0
+}
+
+// CurrentLoss returns the task's latest loss estimate.
+func (e *Engine) CurrentLoss(id string) float64 {
+	if st, ok := e.state[id]; ok {
+		return st.loss
+	}
+	return 0
+}
+
+// AggregateRate returns the sum of all tasks' instantaneous rates.
+func (e *Engine) AggregateRate() float64 {
+	sum := 0.0
+	for _, st := range e.state {
+		sum += st.rate
+	}
+	return sum
+}
+
+// activeStates returns states of unfinished tasks in deterministic order.
+func (e *Engine) activeStates() []*taskState {
+	var out []*taskState
+	for _, id := range e.order {
+		st := e.state[id]
+		if !st.task.Done() {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Step advances the simulation by dt seconds. It panics on
+// non-positive dt (a driver bug).
+func (e *Engine) Step(dt float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("testbed: Step(%v) must be positive", dt))
+	}
+	active := e.activeStates()
+	if len(active) == 0 {
+		e.now += dt
+		return
+	}
+
+	// Contention-dependent capacities from the global thread and
+	// connection counts.
+	srcThreads, dstThreads, conns := 0, 0, 0
+	for _, st := range active {
+		srcThreads += st.task.ActiveFiles()
+		dstThreads += st.task.ActiveFiles()
+		conns += st.task.ActiveConnections()
+	}
+	e.net.SetCapacity(resSrcStore, e.cfg.SrcStore.EffectiveAggregate(srcThreads))
+	e.net.SetCapacity(resDstStore, e.cfg.DstStore.EffectiveAggregate(dstThreads))
+	e.net.SetCapacity(resSrcCPU, e.cfg.SrcHost.EffectiveCPU(conns))
+	e.net.SetCapacity(resDstCPU, e.cfg.DstHost.EffectiveCPU(conns))
+
+	// One weighted demand per task: all n×p connections of a task are
+	// identical TCP flows with the same per-connection cap.
+	var demands []netsim.Demand
+	path := []string{resSrcStore, resSrcCPU, resSrcNIC, resLink, resDstNIC, resDstCPU, resDstStore}
+	for _, st := range active {
+		set := st.task.Setting()
+		m := st.task.ActiveConnections()
+		if m == 0 {
+			continue
+		}
+		demands = append(demands, netsim.Demand{
+			FlowID:    st.task.ID(),
+			Resources: path,
+			Cap:       e.perConnCap(set),
+			RTT:       e.cfg.RTT,
+			Weight:    m,
+		})
+	}
+	alloc, err := e.net.Allocate(demands)
+	if err != nil {
+		// Demands are constructed internally; an error is a bug.
+		panic(fmt.Sprintf("testbed: allocation failed: %v", err))
+	}
+
+	// Fold the per-connection allocation into per-task equilibrium
+	// rates and losses, apply pipelining efficiency and ramping, and
+	// advance the tasks.
+	for _, st := range active {
+		set := st.task.Setting()
+		m := st.task.ActiveConnections()
+		eq := alloc.Rate[st.task.ID()] * float64(m)
+		loss := alloc.Loss[st.task.ID()]
+		if m > 0 {
+			perFileRate := eq / float64(st.task.ActiveFiles())
+			eff := transfer.PipelineEfficiency(st.task.RemainingMeanFileSize(), perFileRate, e.cfg.RTT, set.Pipelining)
+			eq *= eff
+		}
+
+		// Exponential approach to equilibrium. Rate reductions (losing
+		// a share to a newcomer, dropping connections) take effect
+		// faster than slow-start growth: congestion control backs off
+		// within a few RTTs.
+		tau := e.cfg.rampTau()
+		if eq < st.rate {
+			tau /= 3
+		}
+		st.rate += (eq - st.rate) * (1 - math.Exp(-dt/tau))
+		if st.rate < 0 {
+			st.rate = 0
+		}
+		st.loss = loss
+
+		bytes := st.rate * dt / 8
+		st.windowBytes += bytes
+		st.windowLossSum += loss * dt
+		st.windowDur += dt
+		st.task.Advance(int64(bytes), dt)
+	}
+	e.now += dt
+}
+
+// perConnCap returns the intrinsic per-connection rate cap for a task
+// using the given setting: the per-process I/O limit split across the
+// file's p streams, and the per-stream TCP window limit.
+func (e *Engine) perConnCap(set transfer.Setting) float64 {
+	perProc := math.Min(e.cfg.SrcStore.PerProcCap, e.cfg.DstStore.PerProcCap)
+	cap := perProc / float64(set.Parallelism)
+	if sc := e.streamCap(); sc > 0 && sc < cap {
+		cap = sc
+	}
+	return cap
+}
+
+// streamCap returns the per-TCP-stream rate bound from the bandwidth-
+// delay product with a 8 MiB socket buffer — the classic long-fat-
+// network limitation that makes parallel streams worthwhile (§4.4).
+// Negligible at sub-millisecond RTT.
+func (e *Engine) streamCap() float64 {
+	if e.cfg.RTT < 0.001 {
+		return 0
+	}
+	const bufferBits = 8 * (1 << 20) * 8
+	return bufferBits / e.cfg.RTT
+}
+
+// BeginWindow resets the task's measurement window. Unknown IDs are a
+// no-op.
+func (e *Engine) BeginWindow(id string) {
+	if st, ok := e.state[id]; ok {
+		st.windowStart = e.now
+		st.windowBytes = 0
+		st.windowLossSum = 0
+		st.windowDur = 0
+	}
+}
+
+// TakeSample closes the task's measurement window and returns the
+// observed sample with measurement noise applied, then begins a new
+// window. It returns an error for unknown tasks or empty windows.
+func (e *Engine) TakeSample(id string) (transfer.Sample, error) {
+	st, ok := e.state[id]
+	if !ok {
+		return transfer.Sample{}, fmt.Errorf("testbed: unknown task %q", id)
+	}
+	if st.windowDur <= 0 {
+		return transfer.Sample{}, fmt.Errorf("testbed: empty measurement window for %q", id)
+	}
+	tput := st.windowBytes * 8 / st.windowDur
+	if e.cfg.NoiseStdDev > 0 {
+		factor := 1 + e.cfg.NoiseStdDev*e.rng.NormFloat64()
+		if factor < 0.5 {
+			factor = 0.5
+		}
+		if factor > 1.5 {
+			factor = 1.5
+		}
+		tput *= factor
+	}
+	loss := st.windowLossSum / st.windowDur
+	s := transfer.Sample{
+		Setting:    st.task.Setting(),
+		Duration:   st.windowDur,
+		Throughput: tput,
+		Loss:       loss,
+		Time:       e.now,
+	}
+	e.BeginWindow(id)
+	return s, nil
+}
+
+// SaturationConcurrency estimates the concurrency needed to reach the
+// testbed's end-to-end capacity with parallelism 1: the number of
+// per-process-capped streams required to fill the narrowest aggregate
+// resource. This is the "optimal concurrency" profiling tools would
+// report (Table 1 context), available to experiments as ground truth.
+func (e *Engine) SaturationConcurrency() int {
+	perProc := math.Min(e.cfg.SrcStore.PerProcCap, e.cfg.DstStore.PerProcCap)
+	if sc := e.streamCap(); sc > 0 && sc < perProc {
+		perProc = sc
+	}
+	bottleneck := e.EndToEndCapacity()
+	return int(math.Ceil(bottleneck / perProc))
+}
+
+// EndToEndCapacity returns the narrowest aggregate capacity along the
+// path at low contention — the maximum achievable transfer rate.
+func (e *Engine) EndToEndCapacity() float64 {
+	caps := []float64{
+		e.cfg.SrcStore.AggregateCap,
+		e.cfg.DstStore.AggregateCap,
+		e.cfg.SrcHost.NICCap,
+		e.cfg.DstHost.NICCap,
+		e.cfg.SrcHost.CPUCap,
+		e.cfg.DstHost.CPUCap,
+		e.cfg.LinkCapacity,
+	}
+	sort.Float64s(caps)
+	return caps[0]
+}

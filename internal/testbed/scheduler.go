@@ -1,0 +1,294 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+	"repro/internal/transfer"
+)
+
+// Controller decides the next transfer setting from the sample of the
+// last decision epoch. Falcon agents, the Globus heuristic, and the
+// HARP model all satisfy this interface.
+type Controller interface {
+	Decide(s transfer.Sample) transfer.Setting
+}
+
+// FixedController always returns the same setting (the Globus-style
+// "fixed strategy" of §2, and the knob-sweep experiments).
+type FixedController struct{ S transfer.Setting }
+
+// Decide returns the fixed setting.
+func (f FixedController) Decide(transfer.Sample) transfer.Setting { return f.S }
+
+// Participant couples a task with its controller and schedule.
+type Participant struct {
+	// Task is the transfer to run. Its initial setting is used for the
+	// first epoch.
+	Task *transfer.Task
+	// Controller chooses each subsequent epoch's setting. A nil
+	// controller keeps the task's initial setting forever.
+	Controller Controller
+	// JoinAt is the simulation time at which the task starts.
+	JoinAt float64
+	// LeaveAt, when positive, removes the task at that time even if it
+	// has data left (a departing competitor).
+	LeaveAt float64
+	// SampleInterval overrides the testbed's default sample-transfer
+	// duration when positive.
+	SampleInterval float64
+}
+
+// Timeline is the recorded outcome of a Scheduler run. For every task
+// it holds a throughput series (Gbps, sampled every RecordInterval), a
+// concurrency series, and a loss series (recorded at decision epochs).
+type Timeline struct {
+	// Throughput, Concurrency, Loss are keyed by task ID in their
+	// series names ("<id>/throughput" etc.) within each TimeSet.
+	Throughput  trace.TimeSet
+	Concurrency trace.TimeSet
+	Loss        trace.TimeSet
+	// Finished maps task ID to completion time for tasks that drained
+	// their dataset before the run ended.
+	Finished map[string]float64
+}
+
+// MeanThroughputGbps returns a task's average recorded throughput in
+// Gbps between t0 and t1.
+func (tl *Timeline) MeanThroughputGbps(id string, t0, t1 float64) float64 {
+	s := tl.Throughput.Lookup(id)
+	if s == nil {
+		return 0
+	}
+	return s.Between(t0, t1).Mean()
+}
+
+// Scheduler drives an Engine, delivering samples to controllers at
+// their decision epochs and recording timelines.
+type Scheduler struct {
+	eng     *Engine
+	parts   []*schedEntry
+	record  float64 // recording interval, seconds
+	verbose func(format string, args ...any)
+
+	// Warmup is how long after a setting change the measurement window
+	// is discarded before metrics accumulate, excluding the TCP
+	// ramp-up transient — the paper captures performance "once the
+	// sample transfer is executed for a sufficient amount of time"
+	// (§3). Default 1 s; negative disables.
+	Warmup float64
+}
+
+type schedEntry struct {
+	p            Participant
+	joined, left bool
+	nextDecision float64
+	interval     float64
+	resetAt      float64 // pending measurement-window reset (warm-up)
+}
+
+// NewScheduler wraps an engine. recordInterval controls the granularity
+// of the throughput timeline (seconds); values ≤ 0 default to 1 s.
+func NewScheduler(eng *Engine, recordInterval float64) *Scheduler {
+	if recordInterval <= 0 {
+		recordInterval = 1
+	}
+	return &Scheduler{eng: eng, record: recordInterval, Warmup: 1}
+}
+
+// SetLogf installs an optional progress logger.
+func (s *Scheduler) SetLogf(f func(format string, args ...any)) { s.verbose = f }
+
+// Add registers a participant. It returns an error for nil tasks,
+// duplicate IDs, or negative schedule times.
+func (s *Scheduler) Add(p Participant) error {
+	if p.Task == nil {
+		return fmt.Errorf("testbed: participant with nil task")
+	}
+	if p.JoinAt < 0 {
+		return fmt.Errorf("testbed: participant %q negative JoinAt %v", p.Task.ID(), p.JoinAt)
+	}
+	if p.LeaveAt != 0 && p.LeaveAt <= p.JoinAt {
+		return fmt.Errorf("testbed: participant %q LeaveAt %v not after JoinAt %v", p.Task.ID(), p.LeaveAt, p.JoinAt)
+	}
+	for _, e := range s.parts {
+		if e.p.Task.ID() == p.Task.ID() {
+			return fmt.Errorf("testbed: duplicate participant %q", p.Task.ID())
+		}
+	}
+	interval := p.SampleInterval
+	if interval <= 0 {
+		interval = s.eng.Config().SampleInterval
+	}
+	s.parts = append(s.parts, &schedEntry{p: p, interval: interval})
+	return nil
+}
+
+// Run advances the simulation until the given time (seconds) with the
+// given tick, driving joins, leaves, decision epochs, and recording.
+// It returns the recorded timeline. Run panics on non-positive tick or
+// horizon — driver bugs.
+func (s *Scheduler) Run(until, tick float64) *Timeline {
+	if tick <= 0 || until <= 0 {
+		panic(fmt.Sprintf("testbed: Run(until=%v, tick=%v) invalid", until, tick))
+	}
+	tl := &Timeline{Finished: make(map[string]float64)}
+	nextRecord := 0.0
+
+	for s.eng.Now() < until {
+		now := s.eng.Now()
+
+		// Joins and leaves.
+		for _, e := range s.parts {
+			id := e.p.Task.ID()
+			if !e.joined && now >= e.p.JoinAt {
+				if err := s.eng.AddTask(e.p.Task); err != nil {
+					panic(fmt.Sprintf("testbed: join %q: %v", id, err))
+				}
+				e.joined = true
+				e.nextDecision = now + e.interval
+				s.eng.BeginWindow(id)
+				s.logf("t=%.0fs: %s joins (%s)", now, id, e.p.Task.Setting())
+			}
+			if e.joined && !e.left && e.p.LeaveAt > 0 && now >= e.p.LeaveAt {
+				s.eng.RemoveTask(id)
+				e.left = true
+				s.logf("t=%.0fs: %s leaves", now, id)
+			}
+		}
+
+		// Decision epochs.
+		for _, e := range s.parts {
+			id := e.p.Task.ID()
+			if !e.joined || e.left || e.p.Task.Done() || now < e.nextDecision {
+				continue
+			}
+			sample, err := s.eng.TakeSample(id)
+			if err != nil {
+				continue // empty window after a join race; retry next epoch
+			}
+			tl.Loss.Get(id).Append(now, sample.Loss)
+			if e.p.Controller != nil {
+				next := e.p.Controller.Decide(sample)
+				if err := e.p.Task.SetSetting(next); err != nil {
+					panic(fmt.Sprintf("testbed: controller for %q produced invalid setting: %v", id, err))
+				}
+			}
+			tl.Concurrency.Get(id).Append(now, float64(e.p.Task.Setting().Concurrency))
+			e.nextDecision = now + e.interval
+			if s.Warmup > 0 {
+				e.resetAt = now + s.Warmup
+			}
+		}
+
+		// Warm-up expiry: restart measurement windows so samples
+		// exclude the post-change ramp transient.
+		for _, e := range s.parts {
+			if e.resetAt > 0 && now >= e.resetAt && e.joined && !e.left {
+				s.eng.BeginWindow(e.p.Task.ID())
+				e.resetAt = 0
+			}
+		}
+
+		s.eng.Step(tick)
+
+		// Completion bookkeeping.
+		for _, e := range s.parts {
+			id := e.p.Task.ID()
+			if e.joined && !e.left && e.p.Task.Done() {
+				if _, seen := tl.Finished[id]; !seen {
+					tl.Finished[id] = s.eng.Now()
+					s.eng.RemoveTask(id)
+					e.left = true
+					s.logf("t=%.0fs: %s finished", s.eng.Now(), id)
+				}
+			}
+		}
+
+		// Recording.
+		if s.eng.Now() >= nextRecord {
+			for _, e := range s.parts {
+				if e.joined && !e.left {
+					id := e.p.Task.ID()
+					tl.Throughput.Get(id).Append(s.eng.Now(), s.eng.CurrentRate(id)/1e9)
+				}
+			}
+			nextRecord = s.eng.Now() + s.record
+		}
+	}
+	return tl
+}
+
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.verbose != nil {
+		s.verbose(format, args...)
+	}
+}
+
+// SweepConcurrency measures steady-state throughput (Gbps) and loss for
+// each concurrency value in values, running each as a fresh single
+// transfer for settleTime seconds and measuring over the final
+// measureTime seconds. It is the workhorse behind Figures 1(a) and 4.
+func SweepConcurrency(cfg Config, seed int64, ds func() *transfer.Task, values []int, settleTime, measureTime float64) ([]float64, []float64, error) {
+	if settleTime <= 0 || measureTime <= 0 {
+		return nil, nil, fmt.Errorf("testbed: sweep times must be positive")
+	}
+	tputs := make([]float64, len(values))
+	losses := make([]float64, len(values))
+	for i, n := range values {
+		eng, err := NewEngine(cfg, seed+int64(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		task := ds()
+		set := task.Setting()
+		set.Concurrency = n
+		if err := task.SetSetting(set); err != nil {
+			return nil, nil, err
+		}
+		if err := eng.AddTask(task); err != nil {
+			return nil, nil, err
+		}
+		const tick = 0.25
+		for eng.Now() < settleTime {
+			eng.Step(tick)
+		}
+		eng.BeginWindow(task.ID())
+		for eng.Now() < settleTime+measureTime {
+			eng.Step(tick)
+		}
+		sample, err := eng.TakeSample(task.ID())
+		if err != nil {
+			return nil, nil, err
+		}
+		tputs[i] = sample.Throughput / 1e9
+		losses[i] = sample.Loss
+	}
+	return tputs, losses, nil
+}
+
+// OptimalConcurrency exhaustively profiles concurrency values 1..maxN
+// and returns the smallest n whose steady-state throughput is within
+// tol (relative) of the best observed — the ground-truth "optimal
+// concurrency" used by Figure 1(b) and convergence analyses.
+func OptimalConcurrency(cfg Config, seed int64, ds func() *transfer.Task, maxN int, tol float64) (int, error) {
+	values := make([]int, maxN)
+	for i := range values {
+		values[i] = i + 1
+	}
+	tputs, _, err := SweepConcurrency(cfg, seed, ds, values, 12, 6)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for _, t := range tputs {
+		best = math.Max(best, t)
+	}
+	for i, t := range tputs {
+		if t >= best*(1-tol) {
+			return values[i], nil
+		}
+	}
+	return values[len(values)-1], nil
+}

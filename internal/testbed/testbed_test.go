@@ -1,0 +1,494 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/transfer"
+)
+
+// bigTask returns a task over a dataset large enough never to finish
+// within test horizons.
+func bigTask(id string, concurrency int) *transfer.Task {
+	t, err := transfer.NewTask(id, dataset.Uniform(id, 5000, int64(dataset.GB)),
+		transfer.Setting{Concurrency: concurrency, Parallelism: 1, Pipelining: 1})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range append(Table1(), EmulabGigabit(20e6), StampedeCometWAN()) {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	bad := Emulab(10e6)
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = Emulab(10e6)
+	bad.RTT = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero RTT accepted")
+	}
+	bad = Emulab(10e6)
+	bad.LinkCapacity = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative link capacity accepted")
+	}
+	bad = Emulab(10e6)
+	bad.SampleInterval = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sample interval accepted")
+	}
+	bad = Emulab(10e6)
+	bad.NoiseStdDev = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Error("excessive noise accepted")
+	}
+}
+
+func TestNewEngineRejectsBadConfig(t *testing.T) {
+	cfg := Emulab(10e6)
+	cfg.RTT = -1
+	if _, err := NewEngine(cfg, 1); err == nil {
+		t.Fatal("NewEngine accepted invalid config")
+	}
+}
+
+func TestEngineTaskManagement(t *testing.T) {
+	eng, err := NewEngine(Emulab(10e6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := bigTask("a", 1), bigTask("b", 1)
+	if err := eng.AddTask(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddTask(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddTask(a); err == nil {
+		t.Fatal("duplicate task accepted")
+	}
+	if err := eng.AddTask(nil); err == nil {
+		t.Fatal("nil task accepted")
+	}
+	if got := eng.TaskIDs(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("TaskIDs = %v", got)
+	}
+	if eng.Task("a") != a || eng.Task("ghost") != nil {
+		t.Fatal("Task lookup wrong")
+	}
+	eng.RemoveTask("a")
+	eng.RemoveTask("ghost") // no-op
+	if got := eng.TaskIDs(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("TaskIDs after remove = %v", got)
+	}
+	if eng.CurrentRate("ghost") != 0 || eng.CurrentLoss("ghost") != 0 {
+		t.Fatal("unknown task has nonzero state")
+	}
+}
+
+func TestStepPanicsOnBadDt(t *testing.T) {
+	eng, _ := NewEngine(Emulab(10e6), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Step(0) did not panic")
+		}
+	}()
+	eng.Step(0)
+}
+
+func TestEngineIdleAdvancesTime(t *testing.T) {
+	eng, _ := NewEngine(Emulab(10e6), 1)
+	eng.Step(2.5)
+	if eng.Now() != 2.5 {
+		t.Fatalf("Now = %v, want 2.5", eng.Now())
+	}
+	if eng.AggregateRate() != 0 {
+		t.Fatal("idle engine has nonzero rate")
+	}
+}
+
+func TestRatesRampTowardEquilibrium(t *testing.T) {
+	cfg := Emulab(10e6)
+	cfg.NoiseStdDev = 0
+	eng, _ := NewEngine(cfg, 1)
+	task := bigTask("t", 10)
+	if err := eng.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	eng.Step(0.25)
+	early := eng.CurrentRate("t")
+	for eng.Now() < 15 {
+		eng.Step(0.25)
+	}
+	late := eng.CurrentRate("t")
+	if early >= late {
+		t.Fatalf("rate did not ramp: early %v, late %v", early, late)
+	}
+	// 10 × 10 Mbps across a 100 Mbps link: equilibrium ≈ 100 Mbps.
+	if math.Abs(late-100e6) > 5e6 {
+		t.Fatalf("steady rate = %v, want ≈100 Mbps", late)
+	}
+}
+
+func TestEmulabConcurrencySweepShape(t *testing.T) {
+	// Figure 4: throughput rises ~linearly to the saturation point
+	// (n=10 at 10 Mbps per process over a 100 Mbps link), then
+	// plateaus; loss is near zero below saturation and grows steeply
+	// beyond it.
+	cfg := Emulab(10e6)
+	cfg.NoiseStdDev = 0
+	mk := func() *transfer.Task { return bigTask("sweep", 1) }
+	values := []int{1, 2, 4, 8, 10, 16, 24, 32}
+	tputs, losses, err := SweepConcurrency(cfg, 1, mk, values, 15, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear region: n=4 ≈ 4× n=1.
+	if r := tputs[2] / tputs[0]; r < 3.3 || r > 4.7 {
+		t.Fatalf("throughput(4)/throughput(1) = %v, want ≈4", r)
+	}
+	// Plateau at ≈0.1 Gbps from n=10.
+	for i, n := range values {
+		if n >= 10 {
+			if math.Abs(tputs[i]-0.1) > 0.015 {
+				t.Fatalf("throughput(%d) = %v Gbps, want ≈0.1", n, tputs[i])
+			}
+		}
+	}
+	// Loss shape: <2% at 10, ≥5% at 32, monotone in between.
+	if losses[4] > 0.02 {
+		t.Fatalf("loss(10) = %v, want <2%%", losses[4])
+	}
+	if losses[7] < 0.05 {
+		t.Fatalf("loss(32) = %v, want ≥5%%", losses[7])
+	}
+	if !(losses[5] < losses[6] && losses[6] < losses[7]) {
+		t.Fatalf("loss not increasing past saturation: %v", losses[5:])
+	}
+}
+
+func TestHPCLabWriteBottleneck(t *testing.T) {
+	// §4.1: HPCLab needs ≈9 concurrent transfers for ≈27 Gbps; a single
+	// transfer is far slower (Figure 1a: <8 Gbps).
+	cfg := HPCLab()
+	cfg.NoiseStdDev = 0
+	mk := func() *transfer.Task { return bigTask("t", 1) }
+	tputs, losses, err := SweepConcurrency(cfg, 1, mk, []int{1, 9}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tputs[0] > 8 {
+		t.Fatalf("single-stream HPCLab = %v Gbps, want <8", tputs[0])
+	}
+	if tputs[1] < 22 {
+		t.Fatalf("9-way HPCLab = %v Gbps, want >22", tputs[1])
+	}
+	// Sender-limited: no meaningful loss.
+	if losses[1] > 0.005 {
+		t.Fatalf("HPCLab loss = %v, want ≈0", losses[1])
+	}
+}
+
+func TestCampusNICBottleneck(t *testing.T) {
+	cfg := CampusCluster()
+	cfg.NoiseStdDev = 0
+	mk := func() *transfer.Task { return bigTask("t", 1) }
+	tputs, _, err := SweepConcurrency(cfg, 1, mk, []int{8}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1 reports ≈9.2 Gbps on the 10G NIC.
+	if tputs[0] < 8.5 || tputs[0] > 10 {
+		t.Fatalf("campus = %v Gbps, want ≈9.2", tputs[0])
+	}
+}
+
+func TestXSEDEDiskReadBottleneck(t *testing.T) {
+	cfg := XSEDE()
+	cfg.NoiseStdDev = 0
+	mk := func() *transfer.Task { return bigTask("t", 1) }
+	tputs, _, err := SweepConcurrency(cfg, 1, mk, []int{10}, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1 reports ≈5.4 Gbps (below the 10G network: disk read binds).
+	if tputs[0] < 4.5 || tputs[0] > 6.5 {
+		t.Fatalf("xsede = %v Gbps, want ≈5.4", tputs[0])
+	}
+}
+
+func TestCompetingTasksShareFairlyPerConnection(t *testing.T) {
+	// Raw TCP behaviour: equal connection counts → equal task shares.
+	cfg := HPCLab()
+	cfg.NoiseStdDev = 0
+	eng, _ := NewEngine(cfg, 1)
+	a, b := bigTask("a", 8), bigTask("b", 8)
+	if err := eng.AddTask(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddTask(b); err != nil {
+		t.Fatal(err)
+	}
+	for eng.Now() < 30 {
+		eng.Step(0.25)
+	}
+	ra, rb := eng.CurrentRate("a"), eng.CurrentRate("b")
+	if j := stats.JainIndex([]float64{ra, rb}); j < 0.99 {
+		t.Fatalf("Jain index = %v for equal settings, want ≈1 (rates %v, %v)", j, ra, rb)
+	}
+}
+
+func TestTakeSampleDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) float64 {
+		eng, _ := NewEngine(Emulab(10e6), seed)
+		task := bigTask("t", 5)
+		if err := eng.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+		eng.BeginWindow("t")
+		for eng.Now() < 6 {
+			eng.Step(0.25)
+		}
+		s, err := eng.TakeSample("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Throughput
+	}
+	if run(7) != run(7) {
+		t.Fatal("same seed produced different samples")
+	}
+	if run(7) == run(8) {
+		t.Fatal("different seeds produced identical noisy samples")
+	}
+}
+
+func TestTakeSampleErrors(t *testing.T) {
+	eng, _ := NewEngine(Emulab(10e6), 1)
+	if _, err := eng.TakeSample("ghost"); err == nil {
+		t.Fatal("sample of unknown task accepted")
+	}
+	task := bigTask("t", 1)
+	if err := eng.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.TakeSample("t"); err == nil {
+		t.Fatal("empty window sample accepted")
+	}
+}
+
+func TestSampleIncludesSettingAndLoss(t *testing.T) {
+	cfg := Emulab(10e6)
+	eng, _ := NewEngine(cfg, 3)
+	task := bigTask("t", 32) // deep into the lossy regime
+	if err := eng.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	for eng.Now() < 20 {
+		eng.Step(0.25)
+	}
+	eng.BeginWindow("t")
+	for eng.Now() < 25 {
+		eng.Step(0.25)
+	}
+	s, err := eng.TakeSample("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Setting.Concurrency != 32 {
+		t.Fatalf("sample setting = %+v", s.Setting)
+	}
+	if s.Loss < 0.03 {
+		t.Fatalf("loss = %v, want heavy at cc=32", s.Loss)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("sample invalid: %v", err)
+	}
+}
+
+func TestSchedulerJoinLeaveAndFairShare(t *testing.T) {
+	// Two fixed-setting tasks: the second joins at t=60. The first's
+	// throughput must drop to ≈ half after the join.
+	cfg := Emulab(10e6)
+	cfg.NoiseStdDev = 0
+	eng, _ := NewEngine(cfg, 1)
+	s := NewScheduler(eng, 1)
+	a := bigTask("a", 20)
+	b := bigTask("b", 20)
+	if err := s.Add(Participant{Task: a, Controller: FixedController{S: a.Setting()}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Participant{Task: b, Controller: FixedController{S: b.Setting()}, JoinAt: 60, LeaveAt: 120}); err != nil {
+		t.Fatal(err)
+	}
+	tl := s.Run(180, 0.25)
+
+	alone := tl.MeanThroughputGbps("a", 40, 60)
+	shared := tl.MeanThroughputGbps("a", 80, 118)
+	after := tl.MeanThroughputGbps("a", 150, 180)
+	if alone < 0.09 {
+		t.Fatalf("alone throughput = %v Gbps, want ≈0.1", alone)
+	}
+	if shared > 0.7*alone {
+		t.Fatalf("shared throughput = %v, want ≈half of %v", shared, alone)
+	}
+	if after < 0.9*alone {
+		t.Fatalf("post-departure throughput = %v, want to recover to ≈%v", after, alone)
+	}
+	bShare := tl.MeanThroughputGbps("b", 80, 118)
+	if j := stats.JainIndex([]float64{shared, bShare}); j < 0.98 {
+		t.Fatalf("Jain = %v during competition, want ≈1", j)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	eng, _ := NewEngine(Emulab(10e6), 1)
+	s := NewScheduler(eng, 0)
+	if err := s.Add(Participant{}); err == nil {
+		t.Fatal("nil task accepted")
+	}
+	a := bigTask("a", 1)
+	if err := s.Add(Participant{Task: a, JoinAt: -1}); err == nil {
+		t.Fatal("negative JoinAt accepted")
+	}
+	if err := s.Add(Participant{Task: a, JoinAt: 10, LeaveAt: 5}); err == nil {
+		t.Fatal("LeaveAt before JoinAt accepted")
+	}
+	if err := s.Add(Participant{Task: a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Participant{Task: bigTask("a", 1)}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestSchedulerRecordsCompletion(t *testing.T) {
+	cfg := Emulab(10e6)
+	cfg.NoiseStdDev = 0
+	eng, _ := NewEngine(cfg, 1)
+	s := NewScheduler(eng, 1)
+	// 60 MB at ~100 Mbps ≈ 5 s after ramp.
+	small, err := transfer.NewTask("small", dataset.Uniform("small", 6, 10_000_000),
+		transfer.Setting{Concurrency: 10, Parallelism: 1, Pipelining: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(Participant{Task: small}); err != nil {
+		t.Fatal(err)
+	}
+	tl := s.Run(120, 0.25)
+	done, ok := tl.Finished["small"]
+	if !ok {
+		t.Fatal("task did not finish")
+	}
+	if done < 3 || done > 60 {
+		t.Fatalf("finish time = %v, want a handful of seconds", done)
+	}
+}
+
+func TestControllerDrivesSetting(t *testing.T) {
+	// A controller that always returns concurrency 7 must be applied.
+	cfg := Emulab(10e6)
+	eng, _ := NewEngine(cfg, 1)
+	s := NewScheduler(eng, 1)
+	task := bigTask("t", 1)
+	ctrl := FixedController{S: transfer.Setting{Concurrency: 7, Parallelism: 1, Pipelining: 1}}
+	if err := s.Add(Participant{Task: task, Controller: ctrl}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10, 0.25)
+	if got := task.Setting().Concurrency; got != 7 {
+		t.Fatalf("concurrency = %d, want 7", got)
+	}
+}
+
+func TestSaturationConcurrency(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+		tol  int
+	}{
+		{Emulab(10e6), 10, 0},
+		{EmulabGigabit(20.83e6), 48, 1},
+		{HPCLab(), 9, 1},
+	}
+	for _, c := range cases {
+		eng, err := NewEngine(c.cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eng.SaturationConcurrency()
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("%s: SaturationConcurrency = %d, want %d±%d", c.cfg.Name, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestEndToEndCapacity(t *testing.T) {
+	eng, _ := NewEngine(Emulab(10e6), 1)
+	if got := eng.EndToEndCapacity(); got != 100e6 {
+		t.Fatalf("Emulab capacity = %v, want 100 Mbps", got)
+	}
+	eng2, _ := NewEngine(HPCLab(), 1)
+	if got := eng2.EndToEndCapacity(); got != 27e9 {
+		t.Fatalf("HPCLab capacity = %v, want 27 Gbps (write bottleneck)", got)
+	}
+}
+
+func TestParallelismHelpsOnLongFatNetwork(t *testing.T) {
+	// §4.4: on the 60 ms WAN, a single stream is window-bound; p=4
+	// raises per-file throughput.
+	cfg := StampedeCometWAN()
+	cfg.NoiseStdDev = 0
+	run := func(p int) float64 {
+		eng, _ := NewEngine(cfg, 1)
+		task, err := transfer.NewTask("t", dataset.Uniform("t", 2000, int64(dataset.GB)),
+			transfer.Setting{Concurrency: 4, Parallelism: p, Pipelining: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+		for eng.Now() < 30 {
+			eng.Step(0.25)
+		}
+		return eng.CurrentRate("t")
+	}
+	if r1, r4 := run(1), run(4); r4 < 1.5*r1 {
+		t.Fatalf("parallelism gain = %v/%v, want ≥1.5×", r4, r1)
+	}
+}
+
+func TestPipeliningHelpsSmallFiles(t *testing.T) {
+	// §4.4: pipelining matters for datasets of tiny files on the WAN.
+	cfg := StampedeCometWAN()
+	cfg.NoiseStdDev = 0
+	run := func(q int) float64 {
+		eng, _ := NewEngine(cfg, 1)
+		task, err := transfer.NewTask("t", dataset.Uniform("t", 400_000, int64(dataset.MiB)),
+			transfer.Setting{Concurrency: 8, Parallelism: 1, Pipelining: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.AddTask(task); err != nil {
+			t.Fatal(err)
+		}
+		for eng.Now() < 30 {
+			eng.Step(0.25)
+		}
+		return eng.CurrentRate("t")
+	}
+	if r1, r16 := run(1), run(16); r16 < 2*r1 {
+		t.Fatalf("pipelining gain = %v vs %v, want ≥2×", r16, r1)
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// svgPalette holds the line colours used for successive series.
+var svgPalette = []string{
+	"#2563eb", "#dc2626", "#16a34a", "#9333ea", "#ea580c",
+	"#0891b2", "#be185d", "#4d7c0f",
+}
+
+// WriteSVG renders the set as a standalone SVG line chart: one polyline
+// per series, axes with min/max labels, and a legend. Used by the
+// falconweb service (§6's "cloud-based web service" future work) and by
+// cmd/reproduce -svg.
+func (ts *TimeSet) WriteSVG(w io.Writer, width, height int, title string) error {
+	if width < 160 {
+		width = 160
+	}
+	if height < 120 {
+		height = 120
+	}
+	const (
+		padL, padR = 56, 16
+		padT, padB = 32, 36
+	)
+	plotW := float64(width - padL - padR)
+	plotH := float64(height - padT - padB)
+
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range ts.Series {
+		for _, p := range s.Points {
+			minT, maxT = math.Min(minT, p.Time), math.Max(maxT, p.Time)
+			minV, maxV = math.Min(minV, p.Value), math.Max(maxV, p.Value)
+			total++
+		}
+	}
+	if total == 0 {
+		_, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d"><text x="10" y="20">no data</text></svg>`, width, height)
+		return err
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	if minV > 0 && minV < 0.2*maxV {
+		minV = 0 // anchor near-zero baselines at zero for readability
+	}
+
+	x := func(t float64) float64 { return float64(padL) + (t-minT)/(maxT-minT)*plotW }
+	y := func(v float64) float64 { return float64(padT) + (1-(v-minV)/(maxV-minV))*plotH }
+
+	if _, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`, width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(w, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`, padL, xmlEscape(title))
+	// Axes.
+	fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#999"/>`, padL, y(minV), width-padR, y(minV))
+	fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#999"/>`, padL, y(minV), padL, y(maxV))
+	fmt.Fprintf(w, `<text x="%d" y="%.1f" text-anchor="end">%.3g</text>`, padL-4, y(maxV)+4, maxV)
+	fmt.Fprintf(w, `<text x="%d" y="%.1f" text-anchor="end">%.3g</text>`, padL-4, y(minV)+4, minV)
+	fmt.Fprintf(w, `<text x="%d" y="%d">%.3gs</text>`, padL, height-padB+16, minT)
+	fmt.Fprintf(w, `<text x="%d" y="%d" text-anchor="end">%.3gs</text>`, width-padR, height-padB+16, maxT)
+
+	// Series.
+	for i, s := range ts.Series {
+		color := svgPalette[i%len(svgPalette)]
+		fmt.Fprintf(w, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="`, color)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%.1f,%.1f ", x(p.Time), y(p.Value))
+		}
+		fmt.Fprint(w, `"/>`)
+		// Legend entry.
+		lx := padL + i*130
+		ly := height - 8
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`, lx, ly-4, lx+16, ly-4, color)
+		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`, lx+20, ly, xmlEscape(s.Name))
+	}
+	_, err := fmt.Fprint(w, `</svg>`)
+	return err
+}
+
+// xmlEscape escapes the five XML special characters.
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		case '\'':
+			out = append(out, "&apos;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	ts := &TimeSet{}
+	for i := 0; i < 20; i++ {
+		ts.Get("alpha").Append(float64(i), float64(i*i))
+		ts.Get("beta").Append(float64(i), float64(20-i))
+	}
+	var b strings.Builder
+	if err := ts.WriteSVG(&b, 640, 320, "demo <chart>"); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"polyline",
+		"alpha", "beta",
+		"demo &lt;chart&gt;", // escaped title
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%.300s", want, svg)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polyline count = %d, want 2", got)
+	}
+}
+
+func TestWriteSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := (&TimeSet{}).WriteSVG(&b, 640, 320, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty SVG missing placeholder")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	// Single constant point: ranges collapse; must not divide by zero.
+	ts := &TimeSet{}
+	ts.Get("flat").Append(5, 7)
+	var b strings.Builder
+	if err := ts.WriteSVG(&b, 200, 150, "flat"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Fatal("SVG contains NaN coordinates")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a&b<c>d"e'f`); got != "a&amp;b&lt;c&gt;d&quot;e&apos;f" {
+		t.Fatalf("xmlEscape = %q", got)
+	}
+}

@@ -1,0 +1,248 @@
+// Package trace records and renders time series produced by
+// experiments: per-task throughput, concurrency, and loss over time.
+// Output targets are CSV (for external plotting) and compact ASCII
+// charts (for terminal inspection of figure shapes).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one time-stamped observation.
+type Point struct {
+	Time  float64
+	Value float64
+}
+
+// Series is a named, time-ordered sequence of points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds an observation. Points must be appended in
+// non-decreasing time order; Append panics otherwise, as out-of-order
+// recording indicates a scheduling bug.
+func (s *Series) Append(t, v float64) {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].Time {
+		panic(fmt.Sprintf("trace: out-of-order append to %q: %v after %v", s.Name, t, s.Points[n-1].Time))
+	}
+	s.Points = append(s.Points, Point{Time: t, Value: v})
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Values returns the values as a slice.
+func (s *Series) Values() []float64 {
+	vs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vs[i] = p.Value
+	}
+	return vs
+}
+
+// Mean returns the time-unweighted mean value, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// MeanAfter returns the mean of values at times ≥ t0 — used to measure
+// post-convergence throughput. Returns 0 when no points qualify.
+func (s *Series) MeanAfter(t0 float64) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.Time >= t0 {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Between returns the sub-series with t0 ≤ time < t1.
+func (s *Series) Between(t0, t1 float64) *Series {
+	out := &Series{Name: s.Name}
+	for _, p := range s.Points {
+		if p.Time >= t0 && p.Time < t1 {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// ConvergenceTime returns the first time from which the series stays
+// within ±tol (relative) of target for at least `hold` seconds, or -1
+// if it never converges. It is how experiments measure "time to reach
+// the optimal concurrency".
+func (s *Series) ConvergenceTime(target, tol, hold float64) float64 {
+	if target == 0 {
+		return -1
+	}
+	start := -1.0
+	for _, p := range s.Points {
+		if math.Abs(p.Value-target) <= tol*math.Abs(target) {
+			if start < 0 {
+				start = p.Time
+			}
+			if p.Time-start >= hold {
+				return start
+			}
+		} else {
+			start = -1
+		}
+	}
+	// Converged at the tail but held less than `hold`: accept if the
+	// series simply ended while converged.
+	if start >= 0 && len(s.Points) > 0 && s.Points[len(s.Points)-1].Time-start >= hold/2 {
+		return start
+	}
+	return -1
+}
+
+// TimeSet is a collection of named series sharing a time axis.
+type TimeSet struct {
+	Series []*Series
+}
+
+// Get returns the series with the given name, creating it if needed.
+func (ts *TimeSet) Get(name string) *Series {
+	for _, s := range ts.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	ts.Series = append(ts.Series, s)
+	return s
+}
+
+// Lookup returns the series with the given name, or nil.
+func (ts *TimeSet) Lookup(name string) *Series {
+	for _, s := range ts.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Names returns the sorted series names.
+func (ts *TimeSet) Names() []string {
+	names := make([]string, len(ts.Series))
+	for i, s := range ts.Series {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteCSV emits the set as CSV with a shared time column. Series are
+// aligned by exact timestamps; missing values are left empty.
+func (ts *TimeSet) WriteCSV(w io.Writer) error {
+	names := ts.Names()
+	times := map[float64]bool{}
+	bySeries := make(map[string]map[float64]float64, len(names))
+	for _, s := range ts.Series {
+		m := make(map[float64]float64, len(s.Points))
+		for _, p := range s.Points {
+			times[p.Time] = true
+			m[p.Time] = p.Value
+		}
+		bySeries[s.Name] = m
+	}
+	sorted := make([]float64, 0, len(times))
+	for t := range times {
+		sorted = append(sorted, t)
+	}
+	sort.Float64s(sorted)
+
+	if _, err := fmt.Fprintf(w, "time,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for _, t := range sorted {
+		row := make([]string, 0, len(names)+1)
+		row = append(row, fmt.Sprintf("%g", t))
+		for _, n := range names {
+			if v, ok := bySeries[n][t]; ok {
+				row = append(row, fmt.Sprintf("%g", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCIIChart renders the series as a fixed-size ASCII chart, one
+// letter per series (a, b, c, …), with min/max annotations. Intended
+// for eyeballing figure shapes in terminal output.
+func (ts *TimeSet) ASCIIChart(width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range ts.Series {
+		for _, p := range s.Points {
+			minT, maxT = math.Min(minT, p.Time), math.Max(maxT, p.Time)
+			minV, maxV = math.Min(minV, p.Value), math.Max(maxV, p.Value)
+			total++
+		}
+	}
+	if total == 0 {
+		return "(empty chart)\n"
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range ts.Series {
+		mark := byte('a' + si%26)
+		for _, p := range s.Points {
+			x := int((p.Time - minT) / (maxT - minT) * float64(width-1))
+			y := int((p.Value - minV) / (maxV - minV) * float64(height-1))
+			row := height - 1 - y
+			grid[row][x] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.4g\n", maxV)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%.4g  t=[%.4g, %.4g]\n", minV, minT, maxT)
+	for si, s := range ts.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", 'a'+si%26, s.Name)
+	}
+	return b.String()
+}

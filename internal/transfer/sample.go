@@ -1,0 +1,49 @@
+package transfer
+
+import "fmt"
+
+// Sample is the outcome of one sample transfer: the performance
+// observed while a particular setting was active for a measurement
+// window. It is the only information Falcon's black-box optimizer sees
+// — throughput and packet loss, exactly as §3 of the paper describes.
+type Sample struct {
+	// Setting is the configuration that was active during the window.
+	Setting Setting
+	// Duration is the window length in seconds.
+	Duration float64
+	// Throughput is the task's aggregate throughput in bits/s
+	// (the paper's n·t).
+	Throughput float64
+	// Loss is the measured packet-loss fraction in [0, 1].
+	Loss float64
+	// Time is the simulation or wall-clock timestamp at the end of the
+	// window, in seconds.
+	Time float64
+}
+
+// PerConnThroughput returns the average throughput per concurrent file
+// transfer — the paper's t_i — derived from the aggregate and the
+// concurrency in force.
+func (s Sample) PerConnThroughput() float64 {
+	if s.Setting.Concurrency <= 0 {
+		return 0
+	}
+	return s.Throughput / float64(s.Setting.Concurrency)
+}
+
+// Validate checks sample plausibility (used by defensive consumers).
+func (s Sample) Validate() error {
+	if err := s.Setting.Validate(); err != nil {
+		return err
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("transfer: sample duration %v must be positive", s.Duration)
+	}
+	if s.Throughput < 0 {
+		return fmt.Errorf("transfer: negative sample throughput %v", s.Throughput)
+	}
+	if s.Loss < 0 || s.Loss > 1 {
+		return fmt.Errorf("transfer: sample loss %v outside [0,1]", s.Loss)
+	}
+	return nil
+}

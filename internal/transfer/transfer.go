@@ -1,0 +1,230 @@
+// Package transfer defines the application-layer semantics of a bulk
+// file transfer: the tunable setting (concurrency, parallelism,
+// pipelining), the bookkeeping of a running task over a dataset, and
+// the pipelining efficiency model that makes command caching matter
+// for small files (§4.4 of the paper).
+//
+// The three knobs follow GridFTP terminology exactly as the paper uses
+// them:
+//
+//   - Concurrency (n): how many files are transferred simultaneously,
+//     each with its own I/O thread (process).
+//   - Parallelism (p): how many TCP streams carry each file, so a task
+//     opens n×p connections in total.
+//   - Pipelining (q): how many transfer commands are queued
+//     back-to-back on the control channel, hiding the per-file
+//     round-trip gap between consecutive files.
+package transfer
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Setting is one point in Falcon's search space.
+type Setting struct {
+	// Concurrency is the number of files in flight (n ≥ 1).
+	Concurrency int
+	// Parallelism is the number of streams per file (p ≥ 1).
+	Parallelism int
+	// Pipelining is the command-queue depth (q ≥ 1).
+	Pipelining int
+}
+
+// DefaultSetting returns the baseline configuration the paper measures
+// first: one file at a time, one stream, no pipelining.
+func DefaultSetting() Setting { return Setting{Concurrency: 1, Parallelism: 1, Pipelining: 1} }
+
+// Validate checks that all knobs are at least one.
+func (s Setting) Validate() error {
+	if s.Concurrency < 1 {
+		return fmt.Errorf("transfer: concurrency %d must be ≥ 1", s.Concurrency)
+	}
+	if s.Parallelism < 1 {
+		return fmt.Errorf("transfer: parallelism %d must be ≥ 1", s.Parallelism)
+	}
+	if s.Pipelining < 1 {
+		return fmt.Errorf("transfer: pipelining %d must be ≥ 1", s.Pipelining)
+	}
+	return nil
+}
+
+// Connections returns the total TCP connections the setting opens (n×p).
+func (s Setting) Connections() int { return s.Concurrency * s.Parallelism }
+
+// String renders the setting as "cc=4 p=2 q=8".
+func (s Setting) String() string {
+	return fmt.Sprintf("cc=%d p=%d q=%d", s.Concurrency, s.Parallelism, s.Pipelining)
+}
+
+// PipelineEfficiency returns the fraction of wall-clock time a transfer
+// channel spends moving bytes rather than waiting between files.
+//
+// Each file costs one control-channel exchange (≈ one RTT) before its
+// data flows. With pipelining depth q, commands for the next q files
+// are sent back-to-back, so the expected idle gap per file shrinks to
+// RTT/q. A channel moving files of mean size S at rate r therefore has
+// duty cycle
+//
+//	eff = (S/r) / (S/r + RTT/q)
+//
+// Large files (S/r ≫ RTT) are insensitive to q; datasets of 1 KiB–10 MiB
+// files over a 60 ms WAN are dominated by it — the paper's motivation
+// for tuning pipelining on the "small" and "mixed" datasets.
+func PipelineEfficiency(meanFileBytes float64, perFileRate float64, rtt float64, pipelining int) float64 {
+	if meanFileBytes <= 0 || perFileRate <= 0 {
+		return 1
+	}
+	if pipelining < 1 {
+		pipelining = 1
+	}
+	if rtt <= 0 {
+		return 1
+	}
+	transferTime := meanFileBytes * 8 / perFileRate
+	gap := rtt / float64(pipelining)
+	return transferTime / (transferTime + gap)
+}
+
+// Task tracks the progress of one transfer job over a dataset. It is
+// the pure bookkeeping core shared by the simulated testbeds and the
+// real FTP engine: bytes flow in via Advance, files complete in order,
+// and the task reports when it is done.
+type Task struct {
+	id      string
+	ds      *dataset.Dataset
+	setting Setting
+
+	totalBytes int64   // cached dataset size (datasets are immutable)
+	nextFile   int     // index of the first file not yet fully sent
+	fileSent   int64   // bytes already sent of the file at nextFile
+	bytesDone  int64   // total bytes completed
+	elapsed    float64 // seconds of active transfer time
+}
+
+// NewTask creates a task over ds with the given initial setting.
+// It returns an error for an invalid setting, a nil or invalid dataset,
+// or an empty ID.
+func NewTask(id string, ds *dataset.Dataset, s Setting) (*Task, error) {
+	if id == "" {
+		return nil, fmt.Errorf("transfer: empty task ID")
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("transfer: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("transfer: %w", err)
+	}
+	if len(ds.Files) == 0 {
+		return nil, fmt.Errorf("transfer: dataset %q has no files", ds.Label)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Task{id: id, ds: ds, setting: s, totalBytes: ds.TotalBytes()}, nil
+}
+
+// ID returns the task identifier.
+func (t *Task) ID() string { return t.id }
+
+// Dataset returns the dataset being transferred.
+func (t *Task) Dataset() *dataset.Dataset { return t.ds }
+
+// Setting returns the task's current setting.
+func (t *Task) Setting() Setting { return t.setting }
+
+// SetSetting changes the task's knobs mid-flight (the optimizer's
+// action). It returns an error for invalid settings.
+func (t *Task) SetSetting(s Setting) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	t.setting = s
+	return nil
+}
+
+// Done reports whether every byte of the dataset has been sent.
+func (t *Task) Done() bool { return t.nextFile >= len(t.ds.Files) }
+
+// BytesDone returns the total bytes completed so far.
+func (t *Task) BytesDone() int64 { return t.bytesDone }
+
+// BytesRemaining returns the bytes not yet sent.
+func (t *Task) BytesRemaining() int64 { return t.totalBytes - t.bytesDone }
+
+// Elapsed returns the accumulated active transfer time in seconds.
+func (t *Task) Elapsed() float64 { return t.elapsed }
+
+// ActiveFiles returns how many files the task would transfer
+// simultaneously right now: the configured concurrency, bounded by the
+// number of files remaining.
+func (t *Task) ActiveFiles() int {
+	remaining := len(t.ds.Files) - t.nextFile
+	if remaining < 0 {
+		remaining = 0
+	}
+	if t.setting.Concurrency < remaining {
+		return t.setting.Concurrency
+	}
+	return remaining
+}
+
+// ActiveConnections returns ActiveFiles×parallelism — the TCP
+// connections currently open.
+func (t *Task) ActiveConnections() int { return t.ActiveFiles() * t.setting.Parallelism }
+
+// RemainingMeanFileSize returns the mean size in bytes of files not yet
+// completed, used by the pipelining efficiency model. Returns 0 when
+// the task is done. Computed in O(1) from the byte counters — this runs
+// on every simulation tick.
+func (t *Task) RemainingMeanFileSize() float64 {
+	remaining := len(t.ds.Files) - t.nextFile
+	if remaining <= 0 {
+		return 0
+	}
+	sum := t.totalBytes - t.bytesDone
+	return float64(sum) / float64(remaining)
+}
+
+// Advance records that the task moved `bytes` bytes during `dt` seconds
+// of transfer, completing files in order. Partial progress within a
+// file is retained. It panics on negative arguments (a simulation bug).
+func (t *Task) Advance(bytes int64, dt float64) {
+	if bytes < 0 || dt < 0 {
+		panic(fmt.Sprintf("transfer: Advance(%d, %v) negative argument", bytes, dt))
+	}
+	if t.Done() {
+		return
+	}
+	t.elapsed += dt
+	for bytes > 0 && t.nextFile < len(t.ds.Files) {
+		need := t.ds.Files[t.nextFile].Size - t.fileSent
+		if bytes < need {
+			t.fileSent += bytes
+			t.bytesDone += bytes
+			return
+		}
+		bytes -= need
+		t.bytesDone += need
+		t.fileSent = 0
+		t.nextFile++
+	}
+}
+
+// Progress returns the completed fraction in [0, 1].
+func (t *Task) Progress() float64 {
+	if t.totalBytes == 0 {
+		return 1
+	}
+	return float64(t.bytesDone) / float64(t.totalBytes)
+}
+
+// MeanThroughput returns the task's lifetime average throughput in
+// bits/s, or 0 before any time has elapsed.
+func (t *Task) MeanThroughput() float64 {
+	if t.elapsed == 0 {
+		return 0
+	}
+	return float64(t.bytesDone) * 8 / t.elapsed
+}

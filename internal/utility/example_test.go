@@ -1,0 +1,26 @@
+package utility_test
+
+import (
+	"fmt"
+
+	"repro/internal/utility"
+)
+
+// ExampleNonlinear evaluates Falcon's Eq 4 utility at two concurrency
+// levels around a saturation point: the higher level moves no more data
+// but pays more regret.
+func ExampleNonlinear() {
+	perProc, capacity := 10e6, 100e6 // saturation at n = 10
+	thr := utility.SaturatingThroughput(perProc, capacity)
+	u10 := utility.Nonlinear(10, thr(10)/10, 0, utility.DefaultB, utility.DefaultK)
+	u20 := utility.Nonlinear(20, thr(20)/20, 0, utility.DefaultB, utility.DefaultK)
+	fmt.Println(u10 > u20)
+	// Output: true
+}
+
+// ExampleConcaveLimit shows the concurrency bound for Nash-equilibrium
+// guarantees at the paper's default K.
+func ExampleConcaveLimit() {
+	fmt.Printf("%.0f\n", utility.ConcaveLimit(1.02))
+	// Output: 101
+}

@@ -1,0 +1,181 @@
+// Package utility implements Falcon's game-theory-inspired utility
+// functions (§3.1 of the paper) and the analysis that justifies them.
+//
+// A utility function maps the observables of one sample transfer —
+// concurrency n, average per-transfer throughput t, and packet-loss
+// rate L — to a scalar score. The paper develops four forms:
+//
+//	Eq 2:  u = n·t − n·t·L·B                 (loss regret only)
+//	Eq 3:  u = n·t − n·t·L·B − n·t·n·C       (linear concurrency regret)
+//	Eq 4:  u = n·t/Kⁿ − n·t·L·B              (nonlinear concurrency regret)
+//	Eq 7:  u = (n·p)·t/K^(n·p) − n·t·L·B     (multi-parameter form)
+//
+// Only Eq 4 delivers both high single-transfer performance and fair,
+// optimal convergence under competition; its strict concavity (for
+// n < 2/ln K, Eq 5) is what guarantees Nash equilibrium between
+// competing Falcon agents.
+package utility
+
+import (
+	"fmt"
+	"math"
+)
+
+// Default coefficients from §3.1.
+const (
+	// DefaultB is the packet-loss punishment coefficient; B = 10 keeps
+	// loss below 1 % while achieving >95 % utilization with common TCP
+	// variants.
+	DefaultB = 10.0
+	// DefaultK is the nonlinear concurrency-regret base: each extra
+	// concurrent transfer must buy ≥2 % more throughput. The paper
+	// selects 1.02 as the balance between stability and the concave
+	// region's upper limit (n ≤ 2/ln 1.02 ≈ 198).
+	DefaultK = 1.02
+)
+
+// Params configures a utility function.
+type Params struct {
+	// B is the loss-regret coefficient (Eq 2–4, 7).
+	B float64
+	// C is the linear concurrency-regret coefficient (Eq 3 only).
+	C float64
+	// K is the nonlinear concurrency-regret base (Eq 4, 7); must be >1.
+	K float64
+}
+
+// DefaultParams returns the paper's defaults (B=10, K=1.02).
+func DefaultParams() Params { return Params{B: DefaultB, K: DefaultK} }
+
+// Validate checks coefficient sanity for the nonlinear forms.
+func (p Params) Validate() error {
+	if p.B < 0 {
+		return fmt.Errorf("utility: negative B %v", p.B)
+	}
+	if p.C < 0 {
+		return fmt.Errorf("utility: negative C %v", p.C)
+	}
+	if p.K <= 1 {
+		return fmt.Errorf("utility: K %v must exceed 1", p.K)
+	}
+	return nil
+}
+
+// LossRegret evaluates Eq 2: u = n·t − n·t·L·B.
+//
+// n is the number of concurrent transfers, t the average throughput of
+// each (so n·t is the task's aggregate throughput), L the packet loss
+// rate in [0,1], and B the loss punishment coefficient.
+func LossRegret(n int, t, L, B float64) float64 {
+	nt := float64(n) * t
+	return nt - nt*L*B
+}
+
+// LinearPenalty evaluates Eq 3: u = n·t − n·t·L·B − n·t·n·C.
+//
+// The linear concurrency regret C either caps throughput prematurely
+// (large C) or destabilises multi-agent convergence (small C) — the
+// failure modes of Figure 6 that motivate the nonlinear form.
+func LinearPenalty(n int, t, L, B, C float64) float64 {
+	nt := float64(n) * t
+	return nt - nt*L*B - nt*float64(n)*C
+}
+
+// Nonlinear evaluates Eq 4: u = n·t/Kⁿ − n·t·L·B — Falcon's utility.
+func Nonlinear(n int, t, L, B, K float64) float64 {
+	nt := float64(n) * t
+	return nt/math.Pow(K, float64(n)) - nt*L*B
+}
+
+// MultiParam evaluates Eq 7 for concurrency n and parallelism p:
+//
+//	u = (n·p)·t/K^(n·p) − n·t·L·B
+//
+// following the paper's notation literally: t is the throughput of a
+// single network connection, so (n·p)·t is the task's aggregate
+// throughput and the regret exponent counts total connections n·p.
+func MultiParam(n, p int, t, L, B, K float64) float64 {
+	np := float64(n * p)
+	return np*t/math.Pow(K, np) - float64(n)*t*L*B
+}
+
+// Evaluate applies the Params' nonlinear utility (Eq 4, or Eq 7 when
+// parallelism > 1) to a sample's observables.
+func (p Params) Evaluate(n, parallelism int, aggregateThroughput, loss float64) float64 {
+	if n < 1 {
+		return 0
+	}
+	t := aggregateThroughput / float64(n)
+	if parallelism <= 1 {
+		return Nonlinear(n, t, loss, p.B, p.K)
+	}
+	return MultiParamAggregate(n, parallelism, aggregateThroughput, loss, p.B, p.K)
+}
+
+// MultiParamAggregate is MultiParam expressed in terms of the task's
+// aggregate throughput (n·t) rather than per-transfer throughput.
+func MultiParamAggregate(n, p int, aggregate, L, B, K float64) float64 {
+	np := float64(n * p)
+	return aggregate/math.Pow(K, np) - aggregate*L*B
+}
+
+// SecondDerivative evaluates Eq 5, the second derivative of
+// f(n) = n·t/Kⁿ with respect to n:
+//
+//	f''(n) = t·K⁻ⁿ·ln K·(−2 + n·ln K)
+//
+// Strict concavity requires f”(n) < 0, i.e. n < 2/ln K.
+func SecondDerivative(n, t, K float64) float64 {
+	lnK := math.Log(K)
+	return t * math.Pow(K, -n) * lnK * (-2 + n*lnK)
+}
+
+// ConcaveLimit returns the upper bound 2/ln K on concurrency for which
+// Eq 4 remains strictly concave (≈198 for K=1.02, ≈200 for K=1.01 as
+// discussed in §3.1).
+func ConcaveLimit(K float64) float64 {
+	if K <= 1 {
+		return math.Inf(1)
+	}
+	return 2 / math.Log(K)
+}
+
+// Curve tabulates a utility function over concurrency values 1..maxN
+// using a throughput model: thr(n) is the aggregate throughput obtained
+// with n concurrent transfers. It returns utilities indexed by n-1.
+// This generates the *estimated* utility curves of Figure 6(a).
+func Curve(maxN int, thr func(n int) float64, u func(n int, aggregate float64) float64) []float64 {
+	out := make([]float64, maxN)
+	for n := 1; n <= maxN; n++ {
+		out[n-1] = u(n, thr(n))
+	}
+	return out
+}
+
+// ArgmaxCurve returns the concurrency (1-based) with the highest value
+// in a Curve result. It panics on an empty slice.
+func ArgmaxCurve(curve []float64) int {
+	if len(curve) == 0 {
+		panic("utility: empty curve")
+	}
+	best, bestN := curve[0], 1
+	for i, v := range curve[1:] {
+		if v > best {
+			best, bestN = v, i+2
+		}
+	}
+	return bestN
+}
+
+// SaturatingThroughput returns the throughput model used throughout the
+// paper's analytical figures: aggregate throughput grows linearly at
+// perProc per concurrent transfer until it saturates at capacity.
+func SaturatingThroughput(perProc, capacity float64) func(n int) float64 {
+	return func(n int) float64 {
+		t := perProc * float64(n)
+		if t > capacity {
+			return capacity
+		}
+		return t
+	}
+}

@@ -1,0 +1,258 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []Params{
+		{B: -1, K: 1.02},
+		{B: 10, C: -0.1, K: 1.02},
+		{B: 10, K: 1},
+		{B: 10, K: 0.5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) did not error", p)
+		}
+	}
+}
+
+func TestLossRegretZeroLossIsAggregate(t *testing.T) {
+	// With no loss, Eq 2 reduces to aggregate throughput n·t.
+	if got := LossRegret(4, 2.5, 0, 10); got != 10 {
+		t.Fatalf("LossRegret = %v, want 10", got)
+	}
+}
+
+func TestLossRegretPenalty(t *testing.T) {
+	// 1% loss with B=10 removes 10% of utility.
+	base := LossRegret(4, 2.5, 0, 10)
+	withLoss := LossRegret(4, 2.5, 0.01, 10)
+	if !approx(withLoss, base*0.9, 1e-12) {
+		t.Fatalf("1%% loss: %v, want %v", withLoss, base*0.9)
+	}
+	// 10% loss with B=10 drives utility to zero.
+	if got := LossRegret(4, 2.5, 0.1, 10); !approx(got, 0, 1e-12) {
+		t.Fatalf("10%% loss: %v, want 0", got)
+	}
+}
+
+func TestLinearPenalty(t *testing.T) {
+	// Eq 3 at C=0 equals Eq 2.
+	if got, want := LinearPenalty(4, 2.5, 0.01, 10, 0), LossRegret(4, 2.5, 0.01, 10); got != want {
+		t.Fatalf("C=0: %v != %v", got, want)
+	}
+	// Each unit of concurrency at C=0.01 costs n·t·n·C.
+	got := LinearPenalty(4, 2.5, 0, 10, 0.01)
+	want := 10 - 10*4*0.01
+	if !approx(got, want, 1e-12) {
+		t.Fatalf("LinearPenalty = %v, want %v", got, want)
+	}
+}
+
+func TestNonlinearMatchesHandComputation(t *testing.T) {
+	// u = n·t/K^n − n·t·L·B with n=10, t=1, K=1.02, L=0.005, B=10.
+	nt := 10.0
+	want := nt/math.Pow(1.02, 10) - nt*0.005*10
+	if got := Nonlinear(10, 1, 0.005, 10, 1.02); !approx(got, want, 1e-12) {
+		t.Fatalf("Nonlinear = %v, want %v", got, want)
+	}
+}
+
+func TestMultiParamReducesToNonlinearAtP1(t *testing.T) {
+	got := MultiParam(8, 1, 1.5, 0.002, 10, 1.02)
+	want := Nonlinear(8, 1.5, 0.002, 10, 1.02)
+	if !approx(got, want, 1e-12) {
+		t.Fatalf("MultiParam(p=1) = %v, want %v", got, want)
+	}
+}
+
+func TestMultiParamPenalisesTotalConnections(t *testing.T) {
+	// Same aggregate throughput, more connections → lower utility.
+	// n=4, p=4 (16 conns) at per-conn t=1 vs n=16, p=1 at t=1: identical
+	// aggregate and exponent; now raise p with aggregate fixed.
+	lowConn := MultiParamAggregate(4, 1, 16, 0, 10, 1.02)
+	highConn := MultiParamAggregate(4, 4, 16, 0, 10, 1.02)
+	if highConn >= lowConn {
+		t.Fatalf("more connections should cost utility: %v vs %v", highConn, lowConn)
+	}
+}
+
+func TestEvaluateDispatch(t *testing.T) {
+	p := DefaultParams()
+	agg := 12.0
+	if got, want := p.Evaluate(6, 1, agg, 0.001), Nonlinear(6, 2, 0.001, p.B, p.K); !approx(got, want, 1e-12) {
+		t.Fatalf("Evaluate p=1: %v, want %v", got, want)
+	}
+	if got, want := p.Evaluate(6, 2, agg, 0.001), MultiParamAggregate(6, 2, agg, 0.001, p.B, p.K); !approx(got, want, 1e-12) {
+		t.Fatalf("Evaluate p=2: %v, want %v", got, want)
+	}
+	if got := p.Evaluate(0, 1, agg, 0); got != 0 {
+		t.Fatalf("Evaluate n=0 = %v, want 0", got)
+	}
+}
+
+func TestSecondDerivativeEq5(t *testing.T) {
+	// Hand evaluation of Eq 5 at n=10, t=1, K=1.02.
+	lnK := math.Log(1.02)
+	want := math.Pow(1.02, -10) * lnK * (-2 + 10*lnK)
+	if got := SecondDerivative(10, 1, 1.02); !approx(got, want, 1e-15) {
+		t.Fatalf("SecondDerivative = %v, want %v", got, want)
+	}
+	if want >= 0 {
+		t.Fatal("f'' should be negative inside the concave region")
+	}
+}
+
+func TestConcaveLimit(t *testing.T) {
+	// §3.1: K=1.01 → limit ≈ 200; K=1.02 → ≈ 198/2 ≈ 101... the paper
+	// quotes "less than or equal to 200" for K=1.01.
+	if got := ConcaveLimit(1.01); math.Abs(got-201) > 1 {
+		t.Fatalf("ConcaveLimit(1.01) = %v, want ≈201", got)
+	}
+	if got := ConcaveLimit(1.02); math.Abs(got-101) > 1 {
+		t.Fatalf("ConcaveLimit(1.02) = %v, want ≈101", got)
+	}
+	if got := ConcaveLimit(1.0); !math.IsInf(got, 1) {
+		t.Fatalf("ConcaveLimit(1.0) = %v, want +Inf", got)
+	}
+}
+
+// Property: the sign of SecondDerivative flips exactly at ConcaveLimit.
+func TestConcavityBoundaryProperty(t *testing.T) {
+	f := func(kMilli uint8) bool {
+		K := 1.005 + float64(kMilli%90)/1000 // K in [1.005, 1.095]
+		limit := ConcaveLimit(K)
+		inside := SecondDerivative(limit*0.9, 1, K)
+		outside := SecondDerivative(limit*1.1, 1, K)
+		return inside < 0 && outside > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure6aLinearVsNonlinearPeaks(t *testing.T) {
+	// The Figure 6(a) scenario: optimum concurrency 48 (per-process
+	// throughput 1 unit saturating at 48).
+	thr := SaturatingThroughput(1, 48)
+
+	// Linear regret with C=0.02 peaks near 25 — below the optimum.
+	linear02 := Curve(100, thr, func(n int, agg float64) float64 {
+		return LinearPenalty(n, agg/float64(n), 0, 10, 0.02)
+	})
+	if peak := ArgmaxCurve(linear02); peak < 20 || peak > 30 {
+		t.Fatalf("linear C=0.02 peak = %d, want ≈25", peak)
+	}
+
+	// Linear regret with C=0.01 peaks at the optimum for a single
+	// transfer (the instability appears only under competition).
+	linear01 := Curve(100, thr, func(n int, agg float64) float64 {
+		return LinearPenalty(n, agg/float64(n), 0, 10, 0.01)
+	})
+	if peak := ArgmaxCurve(linear01); peak < 44 || peak > 52 {
+		t.Fatalf("linear C=0.01 peak = %d, want ≈48", peak)
+	}
+
+	// Nonlinear regret (K=1.02) peaks at the optimum.
+	nonlinear := Curve(100, thr, func(n int, agg float64) float64 {
+		return Nonlinear(n, agg/float64(n), 0, 10, 1.02)
+	})
+	if peak := ArgmaxCurve(nonlinear); peak < 44 || peak > 50 {
+		t.Fatalf("nonlinear peak = %d, want ≈48", peak)
+	}
+}
+
+func TestNonlinearPrefersJustEnoughConcurrency(t *testing.T) {
+	// Beyond saturation, aggregate throughput is flat but Kⁿ keeps
+	// growing: utility must strictly decrease.
+	thr := SaturatingThroughput(10e6, 100e6) // optimum 10
+	curve := Curve(32, thr, func(n int, agg float64) float64 {
+		return Nonlinear(n, agg/float64(n), 0, 10, 1.02)
+	})
+	peak := ArgmaxCurve(curve)
+	if peak != 10 {
+		t.Fatalf("peak = %d, want 10", peak)
+	}
+	for n := 11; n <= 32; n++ {
+		if curve[n-1] >= curve[n-2] {
+			t.Fatalf("utility not decreasing past the optimum at n=%d", n)
+		}
+	}
+}
+
+// Property: with zero loss, Nonlinear is positive and increasing in the
+// linear-throughput region below the concave limit.
+func TestNonlinearMonotoneBelowOptimumProperty(t *testing.T) {
+	f := func(perProcMbps uint8) bool {
+		perProc := float64(perProcMbps%50+1) * 1e6
+		capacity := perProc * 40 // optimum at n=40
+		thr := SaturatingThroughput(perProc, capacity)
+		prev := math.Inf(-1)
+		for n := 1; n <= 40; n++ {
+			u := Nonlinear(n, thr(n)/float64(n), 0, 10, 1.02)
+			if u <= prev {
+				return false
+			}
+			prev = u
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveAndArgmax(t *testing.T) {
+	curve := Curve(5, func(n int) float64 { return float64(n) }, func(n int, agg float64) float64 {
+		return -math.Abs(float64(n) - 3) // peak at n=3
+	})
+	if len(curve) != 5 {
+		t.Fatalf("curve len = %d", len(curve))
+	}
+	if got := ArgmaxCurve(curve); got != 3 {
+		t.Fatalf("ArgmaxCurve = %d, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ArgmaxCurve(empty) did not panic")
+		}
+	}()
+	ArgmaxCurve(nil)
+}
+
+func TestSaturatingThroughput(t *testing.T) {
+	thr := SaturatingThroughput(10, 100)
+	if thr(5) != 50 {
+		t.Fatalf("thr(5) = %v", thr(5))
+	}
+	if thr(10) != 100 {
+		t.Fatalf("thr(10) = %v", thr(10))
+	}
+	if thr(50) != 100 {
+		t.Fatalf("thr(50) = %v, want saturated", thr(50))
+	}
+}
+
+// Property: the loss-regret term is linear in B: doubling B doubles the
+// penalty relative to the zero-loss utility.
+func TestLossPenaltyLinearityProperty(t *testing.T) {
+	f := func(lossPct uint8) bool {
+		L := float64(lossPct%100) / 1000 // [0, 0.099]
+		base := Nonlinear(10, 1, 0, 0, 1.02)
+		u1 := Nonlinear(10, 1, L, 10, 1.02)
+		u2 := Nonlinear(10, 1, L, 20, 1.02)
+		return approx(base-u2, 2*(base-u1), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

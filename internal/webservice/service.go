@@ -1,0 +1,323 @@
+// Package webservice implements the paper's §6 future work: a web
+// service for deploying Falcon without local installation. Clients
+// POST a scenario (testbed, algorithm, number of competing agents) and
+// poll for JSON results and SVG timelines while the scenario runs in
+// the background.
+//
+// The service runs scenarios on the simulated testbeds; the same API
+// shape would front real transfers by swapping the scenario runner.
+package webservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/transfer"
+)
+
+// ScenarioRequest is the POST /api/scenarios payload.
+type ScenarioRequest struct {
+	// Testbed names the environment: emulab, emulab-1g, xsede, hpclab,
+	// campus, wan.
+	Testbed string `json:"testbed"`
+	// Algorithm is one of gd, bo, hc.
+	Algorithm string `json:"algorithm"`
+	// Agents is the number of competing Falcon transfers (≥1).
+	Agents int `json:"agents"`
+	// StaggerSeconds separates agent joins. Default 120 when Agents>1.
+	StaggerSeconds float64 `json:"stagger_seconds"`
+	// DurationSeconds is the simulated horizon. Default 300.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Seed makes runs reproducible. Default 1.
+	Seed int64 `json:"seed"`
+	// MaxConcurrency bounds the search space. Default 64.
+	MaxConcurrency int `json:"max_concurrency"`
+}
+
+// normalise applies defaults and validates.
+func (r *ScenarioRequest) normalise() error {
+	if r.Agents == 0 {
+		r.Agents = 1
+	}
+	if r.Agents < 1 || r.Agents > 8 {
+		return fmt.Errorf("agents %d outside [1,8]", r.Agents)
+	}
+	if r.StaggerSeconds == 0 {
+		r.StaggerSeconds = 120
+	}
+	if r.StaggerSeconds < 0 {
+		return fmt.Errorf("negative stagger")
+	}
+	if r.DurationSeconds == 0 {
+		r.DurationSeconds = 300
+	}
+	if r.DurationSeconds < 30 || r.DurationSeconds > 3600 {
+		return fmt.Errorf("duration %v outside [30,3600]", r.DurationSeconds)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.MaxConcurrency == 0 {
+		r.MaxConcurrency = 64
+	}
+	if r.MaxConcurrency < 2 || r.MaxConcurrency > 200 {
+		return fmt.Errorf("max_concurrency %d outside [2,200]", r.MaxConcurrency)
+	}
+	switch r.Algorithm {
+	case core.AlgoGradient, core.AlgoBayesian, core.AlgoHillClimbing:
+	case "":
+		r.Algorithm = core.AlgoGradient
+	default:
+		return fmt.Errorf("unknown algorithm %q", r.Algorithm)
+	}
+	if _, ok := lookupTestbed(r.Testbed); !ok {
+		return fmt.Errorf("unknown testbed %q", r.Testbed)
+	}
+	return nil
+}
+
+func lookupTestbed(name string) (testbed.Config, bool) {
+	switch name {
+	case "emulab":
+		return testbed.Emulab(10e6), true
+	case "emulab-1g":
+		return testbed.EmulabGigabit(20.83e6), true
+	case "xsede":
+		return testbed.XSEDE(), true
+	case "hpclab":
+		return testbed.HPCLab(), true
+	case "campus":
+		return testbed.CampusCluster(), true
+	case "wan":
+		return testbed.StampedeCometWAN(), true
+	default:
+		return testbed.Config{}, false
+	}
+}
+
+// AgentResult summarises one agent's outcome.
+type AgentResult struct {
+	ID              string  `json:"id"`
+	MeanGbps        float64 `json:"mean_gbps"`
+	MeanConcurrency float64 `json:"mean_concurrency"`
+}
+
+// Scenario is the stored state of one submitted run.
+type Scenario struct {
+	ID      string          `json:"id"`
+	Request ScenarioRequest `json:"request"`
+	// Status is "running", "done", or "failed".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Results are per-agent summaries over the second half of the run.
+	Results []AgentResult `json:"results,omitempty"`
+	// JainIndex is the fairness of the per-agent means (1 agent → 1).
+	JainIndex float64 `json:"jain_index,omitempty"`
+
+	timeline *testbed.Timeline
+}
+
+// Service is the HTTP handler set with its scenario store.
+type Service struct {
+	mu    sync.Mutex
+	next  int
+	store map[string]*Scenario
+	// wg tracks background runs so Close can drain them.
+	wg sync.WaitGroup
+}
+
+// New returns an empty service.
+func New() *Service {
+	return &Service{store: make(map[string]*Scenario)}
+}
+
+// Close waits for in-flight scenario runs to finish.
+func (s *Service) Close() { s.wg.Wait() }
+
+// Handler returns the service's HTTP routes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("POST /api/scenarios", s.handleCreate)
+	mux.HandleFunc("GET /api/scenarios", s.handleList)
+	mux.HandleFunc("GET /api/scenarios/{id}", s.handleGet)
+	mux.HandleFunc("GET /api/scenarios/{id}/throughput.svg", s.chartHandler("throughput"))
+	mux.HandleFunc("GET /api/scenarios/{id}/concurrency.svg", s.chartHandler("concurrency"))
+	return mux
+}
+
+func (s *Service) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><title>Falcon service</title>
+<h1>Falcon transfer-optimization service</h1>
+<p>POST JSON to <code>/api/scenarios</code>, e.g.
+<pre>{"testbed":"hpclab","algorithm":"gd","agents":3}</pre>
+then GET <code>/api/scenarios/{id}</code> for results and
+<code>/api/scenarios/{id}/throughput.svg</code> for the timeline.</p>`)
+}
+
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req ScenarioRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if err := req.normalise(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.next++
+	id := fmt.Sprintf("s%04d", s.next)
+	sc := &Scenario{ID: id, Request: req, Status: "running"}
+	s.store[id] = sc
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.run(sc)
+	}()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": id})
+}
+
+// run executes the scenario synchronously and stores the outcome.
+func (s *Service) run(sc *Scenario) {
+	cfg, _ := lookupTestbed(sc.Request.Testbed)
+	eng, err := testbed.NewEngine(cfg, sc.Request.Seed)
+	if err != nil {
+		s.fail(sc, err)
+		return
+	}
+	sched := testbed.NewScheduler(eng, 1)
+	for i := 0; i < sc.Request.Agents; i++ {
+		agent, err := core.NewAgentByName(sc.Request.Algorithm, sc.Request.MaxConcurrency, sc.Request.Seed+int64(i))
+		if err != nil {
+			s.fail(sc, err)
+			return
+		}
+		id := fmt.Sprintf("agent%d", i+1)
+		task, err := transfer.NewTask(id, dataset.Uniform(id, 20000, int64(dataset.GB)),
+			transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1})
+		if err != nil {
+			s.fail(sc, err)
+			return
+		}
+		if err := sched.Add(testbed.Participant{
+			Task: task, Controller: agent, JoinAt: float64(i) * sc.Request.StaggerSeconds,
+		}); err != nil {
+			s.fail(sc, err)
+			return
+		}
+	}
+	tl := sched.Run(sc.Request.DurationSeconds, 0.25)
+
+	var results []AgentResult
+	var shares []float64
+	for i := 0; i < sc.Request.Agents; i++ {
+		id := fmt.Sprintf("agent%d", i+1)
+		mean := tl.MeanThroughputGbps(id, sc.Request.DurationSeconds/2, sc.Request.DurationSeconds)
+		cc := 0.0
+		if series := tl.Concurrency.Lookup(id); series != nil {
+			cc = series.MeanAfter(sc.Request.DurationSeconds / 2)
+		}
+		results = append(results, AgentResult{ID: id, MeanGbps: round3(mean), MeanConcurrency: round3(cc)})
+		shares = append(shares, mean)
+	}
+	s.mu.Lock()
+	sc.Status = "done"
+	sc.Results = results
+	sc.JainIndex = round3(stats.JainIndex(shares))
+	sc.timeline = tl
+	s.mu.Unlock()
+}
+
+func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }
+
+func (s *Service) fail(sc *Scenario, err error) {
+	s.mu.Lock()
+	sc.Status = "failed"
+	sc.Error = err.Error()
+	s.mu.Unlock()
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]*Scenario, 0, len(s.store))
+	for _, sc := range s.store {
+		out = append(out, sc)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	sc := s.lookup(r.PathValue("id"))
+	if sc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	json.NewEncoder(w).Encode(sc)
+}
+
+func (s *Service) chartHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sc := s.lookup(r.PathValue("id"))
+		if sc == nil {
+			http.NotFound(w, r)
+			return
+		}
+		s.mu.Lock()
+		tl := sc.timeline
+		status := sc.Status
+		s.mu.Unlock()
+		if tl == nil {
+			httpError(w, http.StatusConflict, "scenario is %s; charts appear when it is done", status)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		var err error
+		switch kind {
+		case "throughput":
+			err = tl.Throughput.WriteSVG(w, 720, 320, fmt.Sprintf("%s — throughput (Gbps)", sc.ID))
+		default:
+			err = tl.Concurrency.WriteSVG(w, 720, 320, fmt.Sprintf("%s — concurrency", sc.ID))
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "render: %v", err)
+		}
+	}
+}
+
+func (s *Service) lookup(id string) *Scenario {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id = strings.TrimSpace(id); id == "" {
+		return nil
+	}
+	return s.store[id]
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,203 @@
+package webservice
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New()
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+func postScenario(t *testing.T, base string, body string) (int, map[string]string) {
+	t.Helper()
+	resp, err := http.Post(base+"/api/scenarios", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// waitDone polls until the scenario finishes.
+func waitDone(t *testing.T, base, id string) *Scenario {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/api/scenarios/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc Scenario
+		json.NewDecoder(resp.Body).Decode(&sc)
+		resp.Body.Close()
+		if sc.Status != "running" {
+			return &sc
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("scenario did not finish in 30s")
+	return nil
+}
+
+func TestScenarioLifecycle(t *testing.T) {
+	_, ts := startService(t)
+	code, out := postScenario(t, ts.URL, `{"testbed":"emulab","algorithm":"gd","duration_seconds":120}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202 (%v)", code, out)
+	}
+	id := out["id"]
+	if id == "" {
+		t.Fatal("no id returned")
+	}
+	sc := waitDone(t, ts.URL, id)
+	if sc.Status != "done" {
+		t.Fatalf("status = %s (%s)", sc.Status, sc.Error)
+	}
+	if len(sc.Results) != 1 {
+		t.Fatalf("results = %+v", sc.Results)
+	}
+	// Emulab converges near 0.09-0.1 Gbps.
+	if sc.Results[0].MeanGbps < 0.07 || sc.Results[0].MeanGbps > 0.12 {
+		t.Fatalf("mean = %v Gbps, want ≈0.1", sc.Results[0].MeanGbps)
+	}
+	if sc.JainIndex != 1 {
+		t.Fatalf("single-agent Jain = %v, want 1", sc.JainIndex)
+	}
+}
+
+func TestMultiAgentScenarioFairness(t *testing.T) {
+	_, ts := startService(t)
+	code, out := postScenario(t, ts.URL,
+		`{"testbed":"hpclab","algorithm":"gd","agents":2,"stagger_seconds":60,"duration_seconds":300}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("status = %d", code)
+	}
+	sc := waitDone(t, ts.URL, out["id"])
+	if sc.Status != "done" {
+		t.Fatalf("status = %s (%s)", sc.Status, sc.Error)
+	}
+	if len(sc.Results) != 2 {
+		t.Fatalf("results = %+v", sc.Results)
+	}
+	if sc.JainIndex < 0.9 {
+		t.Fatalf("Jain = %v, want ≥0.9", sc.JainIndex)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	_, ts := startService(t)
+	cases := []string{
+		`{`,
+		`{"testbed":"atlantis"}`,
+		`{"testbed":"emulab","algorithm":"sgd"}`,
+		`{"testbed":"emulab","agents":99}`,
+		`{"testbed":"emulab","duration_seconds":5}`,
+		`{"testbed":"emulab","max_concurrency":1}`,
+	}
+	for _, c := range cases {
+		if code, _ := postScenario(t, ts.URL, c); code != http.StatusBadRequest {
+			t.Errorf("payload %q: status %d, want 400", c, code)
+		}
+	}
+}
+
+func TestChartEndpoints(t *testing.T) {
+	_, ts := startService(t)
+	_, out := postScenario(t, ts.URL, `{"testbed":"emulab","duration_seconds":60}`)
+	waitDone(t, ts.URL, out["id"])
+	for _, kind := range []string{"throughput", "concurrency"} {
+		resp, err := http.Get(fmt.Sprintf("%s/api/scenarios/%s/%s.svg", ts.URL, out["id"], kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", kind, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+			t.Fatalf("%s: content type %q", kind, ct)
+		}
+		svg := buf.String()
+		if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "polyline") {
+			t.Fatalf("%s: not a chart: %.120s", kind, svg)
+		}
+	}
+}
+
+func TestChartBeforeDoneConflicts(t *testing.T) {
+	svc, _ := startService(t)
+	// Insert a running scenario directly to avoid racing the runner.
+	svc.mu.Lock()
+	svc.store["sX"] = &Scenario{ID: "sX", Status: "running"}
+	svc.mu.Unlock()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/api/scenarios/sX/throughput.svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestUnknownScenario404(t *testing.T) {
+	_, ts := startService(t)
+	resp, err := http.Get(ts.URL + "/api/scenarios/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	_, ts := startService(t)
+	postScenario(t, ts.URL, `{"testbed":"emulab","duration_seconds":60}`)
+	postScenario(t, ts.URL, `{"testbed":"emulab","duration_seconds":60}`)
+	resp, err := http.Get(ts.URL + "/api/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []Scenario
+	json.NewDecoder(resp.Body).Decode(&list)
+	if len(list) != 2 {
+		t.Fatalf("list has %d entries, want 2", len(list))
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	_, ts := startService(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "Falcon") {
+		t.Fatal("index page missing title")
+	}
+}
