@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet bench reproduce verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Hot-path benchmarks with allocation counts.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1s ./internal/netsim/ ./internal/testbed/ ./internal/bayesopt/
+
+reproduce:
+	$(GO) run ./cmd/reproduce
+
+# Full gate: static checks, build, and the race-enabled suite.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...

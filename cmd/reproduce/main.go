@@ -2,26 +2,35 @@
 //
 // Usage:
 //
-//	reproduce [-seed N] [-csv DIR] [-chart] [ids...]
+//	reproduce [-seed N] [-parallel N] [-csv DIR] [-chart] [ids...]
 //
 // With no ids, every experiment runs in paper order. Pass experiment
 // ids (table1, fig1a, … fig16) to run a subset. -csv writes each
 // experiment's charts as CSV files into DIR for external plotting;
 // -chart prints compact ASCII charts of the timeline figures.
+//
+// -parallel controls the worker pool: independent experiments (and
+// independent sweep points within an experiment) execute across that
+// many goroutines, with per-trial seeds fixed by the trial index and
+// results assembled in paper order, so the output is byte-identical
+// for every -parallel value, including 1 (serial).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "base random seed for all experiments")
+	workers := flag.Int("parallel", parallel.Workers(), "worker-pool width for independent experiments and trials (1 = serial)")
 	csvDir := flag.String("csv", "", "directory to write chart CSVs into")
 	svgDir := flag.String("svg", "", "directory to write SVG charts into")
 	chart := flag.Bool("chart", false, "print ASCII charts for timeline figures")
@@ -58,17 +67,22 @@ func main() {
 		}
 	}
 
+	// Worker-pool width for trials/sweep points *within* each
+	// experiment; experiments.Run spreads whole experiments over the
+	// same width.
+	parallel.SetWorkers(*workers)
+
 	failed := 0
-	for _, r := range runners {
-		fmt.Printf("running %s (%s)...\n", r.ID, r.Name)
-		res, err := r.Run(*seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", r.ID, err)
+	for _, out := range experiments.Run(runners, *seed, *workers) {
+		fmt.Printf("running %s (%s)...\n", out.Runner.ID, out.Runner.Name)
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", out.Runner.ID, out.Err)
 			failed++
 			continue
 		}
+		res := out.Result
 		if err := res.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", r.ID, err)
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", res.ID, err)
 			failed++
 			continue
 		}
@@ -84,31 +98,19 @@ func main() {
 			}
 			if *csvDir != "" {
 				path := filepath.Join(*csvDir, fmt.Sprintf("%s-%s.csv", res.ID, name))
-				f, err := os.Create(path)
-				if err != nil {
+				if err := writeFile(path, ts.WriteCSV); err != nil {
 					fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 					failed++
-					continue
 				}
-				if err := ts.WriteCSV(f); err != nil {
-					fmt.Fprintf(os.Stderr, "reproduce: write %s: %v\n", path, err)
-					failed++
-				}
-				f.Close()
 			}
 			if *svgDir != "" {
 				path := filepath.Join(*svgDir, fmt.Sprintf("%s-%s.svg", res.ID, name))
-				f, err := os.Create(path)
-				if err != nil {
+				if err := writeFile(path, func(w io.Writer) error {
+					return ts.WriteSVG(w, 720, 320, fmt.Sprintf("%s %s", res.ID, name))
+				}); err != nil {
 					fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 					failed++
-					continue
 				}
-				if err := ts.WriteSVG(f, 720, 320, fmt.Sprintf("%s %s", res.ID, name)); err != nil {
-					fmt.Fprintf(os.Stderr, "reproduce: write %s: %v\n", path, err)
-					failed++
-				}
-				f.Close()
 			}
 		}
 		fmt.Println()
@@ -116,4 +118,17 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
 }

@@ -26,6 +26,34 @@ func BenchmarkGPFitWindow20(b *testing.B) {
 	}
 }
 
+// BenchmarkGPFitSliding measures the steady-state refit when the
+// 20-point window slides by one per observation — the incremental
+// O(n²) Cholesky path (DropFirst + AppendRow) that every Search.Next
+// takes once the window is full.
+func BenchmarkGPFitSliding(b *testing.B) {
+	const window = 20
+	xs := make([]float64, window)
+	ys := make([]float64, window)
+	for i := range xs {
+		xs[i] = float64(i%32) + 1
+		ys[i] = math.Sin(float64(i) / 3)
+	}
+	gp := NewGP(4, 1, 0.02)
+	if err := gp.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		copy(xs, xs[1:])
+		copy(ys, ys[1:])
+		xs[window-1] = float64((window+i)%32) + 1
+		ys[window-1] = math.Sin(float64(window+i) / 3)
+		if err := gp.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGPPredict measures a single posterior evaluation.
 func BenchmarkGPPredict(b *testing.B) {
 	xs := make([]float64, 20)

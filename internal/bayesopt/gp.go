@@ -26,6 +26,13 @@ import (
 //
 // Targets are standardised internally, so hyperparameters are relative
 // to unit-variance data.
+//
+// Fit recognises the sliding-window access pattern of the searcher:
+// when the new observation set extends the previous one by a single
+// point (or slides the window by one), the Cholesky factor is updated
+// incrementally in O(n²) instead of refactorised in O(n³). The
+// append-only update is bit-identical to a full refit; the
+// window-slide update differs only by rank-1-update rounding.
 type GP struct {
 	// LengthScale is the RBF kernel length scale in input units.
 	LengthScale float64
@@ -37,9 +44,22 @@ type GP struct {
 
 	xs    []float64
 	alpha []float64
-	chol  *linalg.Matrix
+	chol  *linalg.Chol
 	meanY float64
 	stdY  float64
+	// yStd caches the standardised targets from Fit so
+	// LogMarginalLikelihood's yᵀα term is a dot product instead of a
+	// kernel-matrix reconstruction.
+	yStd   []float64
+	fitted bool
+	// fitHyper records the hyperparameters the current factor was
+	// built with; the incremental paths require them unchanged.
+	fitHyper [3]float64
+
+	// Scratch buffers (kernel rows, Predict k* and solve vectors).
+	rowBuf []float64
+	kstar  []float64
+	vbuf   []float64
 }
 
 // NewGP returns a GP with the given hyperparameters. It panics on
@@ -48,13 +68,70 @@ func NewGP(lengthScale, signalVar, noiseVar float64) *GP {
 	if lengthScale <= 0 || signalVar <= 0 || noiseVar <= 0 {
 		panic(fmt.Sprintf("bayesopt: invalid GP hyperparameters ℓ=%v σf²=%v σn²=%v", lengthScale, signalVar, noiseVar))
 	}
-	return &GP{LengthScale: lengthScale, SignalVar: signalVar, NoiseVar: noiseVar}
+	return &GP{LengthScale: lengthScale, SignalVar: signalVar, NoiseVar: noiseVar, chol: linalg.NewChol(24)}
 }
 
 // kernel evaluates the RBF kernel without the noise term.
 func (g *GP) kernel(a, b float64) float64 {
 	d := (a - b) / g.LengthScale
 	return g.SignalVar * math.Exp(-0.5*d*d)
+}
+
+// kernelRow fills g.rowBuf with k(xs[n], xs[0..n]) including the noise
+// jitter on the diagonal — the bordering row AppendRow consumes.
+func (g *GP) kernelRow(xs []float64, n int) []float64 {
+	if cap(g.rowBuf) < n+1 {
+		g.rowBuf = make([]float64, n+1)
+	}
+	row := g.rowBuf[:n+1]
+	for j := 0; j <= n; j++ {
+		v := g.kernel(xs[n], xs[j])
+		if j == n {
+			v += g.NoiseVar + 1e-9 // jitter for numerical safety
+		}
+		row[j] = v
+	}
+	return row
+}
+
+// refactor builds the Cholesky factor from scratch.
+func (g *GP) refactor(xs []float64) error {
+	g.chol.Reset()
+	for i := range xs {
+		if err := g.chol.AppendRow(g.kernelRow(xs, i)); err != nil {
+			g.chol.Reset()
+			g.fitted = false
+			return fmt.Errorf("bayesopt: kernel matrix not PD: %w", err)
+		}
+	}
+	return nil
+}
+
+// extendsByOne reports whether xs equals g.xs plus one appended point.
+func (g *GP) extendsByOne(xs []float64) bool {
+	if len(xs) != len(g.xs)+1 {
+		return false
+	}
+	for i := range g.xs {
+		if xs[i] != g.xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// slidesByOne reports whether xs equals g.xs shifted left by one with
+// one appended point (the full-window case).
+func (g *GP) slidesByOne(xs []float64) bool {
+	if len(xs) != len(g.xs) || len(xs) == 0 {
+		return false
+	}
+	for i := 1; i < len(g.xs); i++ {
+		if xs[i-1] != g.xs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Fit conditions the GP on the observations. It returns an error when
@@ -85,35 +162,53 @@ func (g *GP) Fit(xs, ys []float64) error {
 		std = 1 // constant targets: leave them centred at zero
 	}
 
-	k := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			v := g.kernel(xs[i], xs[j])
-			if i == j {
-				v += g.NoiseVar + 1e-9 // jitter for numerical safety
+	// Update the factor: incrementally when the window grew or slid by
+	// one under unchanged hyperparameters, from scratch otherwise. A
+	// failed incremental update falls back to refactoring.
+	hyper := [3]float64{g.LengthScale, g.SignalVar, g.NoiseVar}
+	switch {
+	case g.fitted && hyper == g.fitHyper && g.extendsByOne(xs):
+		if err := g.chol.AppendRow(g.kernelRow(xs, n-1)); err != nil {
+			if err := g.refactor(xs); err != nil {
+				return err
 			}
-			k.Set(i, j, v)
-			k.Set(j, i, v)
+		}
+	case g.fitted && hyper == g.fitHyper && g.slidesByOne(xs):
+		g.chol.DropFirst()
+		if err := g.chol.AppendRow(g.kernelRow(xs, n-1)); err != nil {
+			if err := g.refactor(xs); err != nil {
+				return err
+			}
+		}
+	default:
+		if err := g.refactor(xs); err != nil {
+			return err
 		}
 	}
-	chol, err := linalg.Cholesky(k)
-	if err != nil {
-		return fmt.Errorf("bayesopt: kernel matrix not PD: %w", err)
+
+	if cap(g.yStd) < n {
+		g.yStd = make([]float64, n)
 	}
-	yStd := make([]float64, n)
+	g.yStd = g.yStd[:n]
 	for i, y := range ys {
-		yStd[i] = (y - mean) / std
+		g.yStd[i] = (y - mean) / std
 	}
+	if cap(g.alpha) < n {
+		g.alpha = make([]float64, n)
+	}
+	g.alpha = g.alpha[:n]
+	g.chol.SolveInto(g.alpha, g.yStd)
 	g.xs = append(g.xs[:0], xs...)
-	g.alpha = linalg.SolveCholesky(chol, yStd)
-	g.chol = chol
 	g.meanY = mean
 	g.stdY = std
+	g.fitHyper = hyper
+	g.fitted = true
 	return nil
 }
 
-// Fitted reports whether Fit has succeeded at least once.
-func (g *GP) Fitted() bool { return g.chol != nil }
+// Fitted reports whether Fit has succeeded at least once (and the
+// factor survives — a failed refit invalidates it).
+func (g *GP) Fitted() bool { return g.fitted }
 
 // Predict returns the posterior mean and standard deviation at x, in
 // the original target units. Predicting before a successful Fit panics
@@ -123,12 +218,17 @@ func (g *GP) Predict(x float64) (mean, std float64) {
 		panic("bayesopt: Predict before Fit")
 	}
 	n := len(g.xs)
-	kstar := make([]float64, n)
+	if cap(g.kstar) < n {
+		g.kstar = make([]float64, n)
+		g.vbuf = make([]float64, n)
+	}
+	kstar := g.kstar[:n]
+	v := g.vbuf[:n]
 	for i, xi := range g.xs {
 		kstar[i] = g.kernel(x, xi)
 	}
 	mu := linalg.Dot(kstar, g.alpha)
-	v := linalg.SolveLower(g.chol, kstar)
+	g.chol.SolveLowerInto(v, kstar)
 	varStar := g.SignalVar - linalg.Dot(v, v)
 	if varStar < 0 {
 		varStar = 0
@@ -142,27 +242,13 @@ func (g *GP) Predict(x float64) (mean, std float64) {
 //
 // (in standardised target units). Higher is better; Search uses it to
 // select the kernel length scale at each refit. It panics before a
-// successful Fit.
+// successful Fit. The yᵀα quadratic term uses the standardised targets
+// cached by Fit, so no kernel evaluation happens here.
 func (g *GP) LogMarginalLikelihood() float64 {
 	if !g.Fitted() {
 		panic("bayesopt: LogMarginalLikelihood before Fit")
 	}
 	n := len(g.xs)
-	// Recover standardised targets from alpha: y = K·alpha, but we can
-	// use the identity yᵀα directly by recomputing y from stored data.
-	// Cheaper: yᵀα = αᵀKα; K·α = y. We stored neither y nor K, so
-	// reconstruct yᵀα via K: yᵀα = Σᵢ yᵢαᵢ with yᵢ = (K·α)ᵢ.
-	quad := 0.0
-	for i := 0; i < n; i++ {
-		ki := 0.0
-		for j := 0; j < n; j++ {
-			v := g.kernel(g.xs[i], g.xs[j])
-			if i == j {
-				v += g.NoiseVar + 1e-9
-			}
-			ki += v * g.alpha[j]
-		}
-		quad += ki * g.alpha[i]
-	}
-	return -0.5*quad - 0.5*linalg.LogDetFromCholesky(g.chol) - float64(n)/2*math.Log(2*math.Pi)
+	quad := linalg.Dot(g.yStd, g.alpha)
+	return -0.5*quad - 0.5*g.chol.LogDet() - float64(n)/2*math.Log(2*math.Pi)
 }

@@ -25,6 +25,7 @@ type Search struct {
 	InitSamples int
 
 	gp    *GP
+	cands []*GP
 	hedge *Hedge
 	rng   *rand.Rand
 	xs    []float64
@@ -42,16 +43,26 @@ func New(maxN int, seed int64) *Search {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	// Length scale relative to the domain keeps the surrogate smooth
-	// without washing out the peak.
-	ls := float64(maxN) / 6
-	if ls < 1 {
-		ls = 1
+	// without washing out the peak. Model selection at each refit picks
+	// among {base/2, base, base·2} by log marginal likelihood; each
+	// candidate is a persistent GP so its Cholesky factor updates
+	// incrementally as the window slides instead of refitting from
+	// scratch.
+	base := float64(maxN) / 6
+	if base < 1 {
+		base = 1
+	}
+	cands := []*GP{
+		NewGP(base/2, 1.0, 0.02),
+		NewGP(base, 1.0, 0.02),
+		NewGP(base*2, 1.0, 0.02),
 	}
 	return &Search{
 		MaxN:        maxN,
 		Window:      20,
 		InitSamples: 3,
-		gp:          NewGP(ls, 1.0, 0.02),
+		gp:          cands[1],
+		cands:       cands,
 		hedge:       NewHedge(DefaultPortfolio(), 0.5, rand.New(rand.NewSource(seed+1))),
 		rng:         rng,
 	}
@@ -86,45 +97,46 @@ func (s *Search) Next(obs optimizer.Observation) int {
 
 // fitWithModelSelection refits the surrogate, choosing the kernel
 // length scale by log marginal likelihood over a small grid — the
-// hyperparameter tuning §3.2 delegates to the BO layer. The grid stays
-// tiny (3 candidates over a ≤20-point window) so refits remain
-// milliseconds-cheap.
+// hyperparameter tuning §3.2 delegates to the BO layer. Each grid
+// point is a persistent GP whose hyperparameters never change, so
+// every refit takes the incremental O(n²) Cholesky path and the winner
+// is already fitted — no final refit needed.
 func (s *Search) fitWithModelSelection() error {
-	base := float64(s.MaxN) / 6
-	if base < 1 {
-		base = 1
-	}
 	bestLML := math.Inf(-1)
-	bestLS := s.gp.LengthScale
-	fitted := false
-	for _, ls := range []float64{base / 2, base, base * 2} {
-		s.gp.LengthScale = ls
-		if err := s.gp.Fit(s.xs, s.ys); err != nil {
+	var bestGP *GP
+	for _, g := range s.cands {
+		if err := g.Fit(s.xs, s.ys); err != nil {
 			continue
 		}
-		if lml := s.gp.LogMarginalLikelihood(); lml > bestLML {
+		if lml := g.LogMarginalLikelihood(); lml > bestLML {
 			bestLML = lml
-			bestLS = ls
+			bestGP = g
 		}
-		fitted = true
 	}
-	if !fitted {
+	if bestGP == nil {
 		return fmt.Errorf("bayesopt: no length scale produced a valid fit")
 	}
-	s.gp.LengthScale = bestLS
-	return s.gp.Fit(s.xs, s.ys)
+	s.gp = bestGP
+	return nil
 }
 
 // observe appends an observation, evicting the oldest beyond Window.
+// Eviction shifts in place (rather than reslicing) so the window
+// buffers are allocated once; the shifted prefix is what lets the GP
+// recognise the slide and update its factor incrementally. A Window
+// shrunk between calls (ablations mutate it) evicts more than one
+// point, which the GPs handle by refactoring.
 func (s *Search) observe(x, y float64) {
 	if math.IsNaN(y) || math.IsInf(y, 0) {
 		return
 	}
 	s.xs = append(s.xs, x)
 	s.ys = append(s.ys, y)
-	if len(s.xs) > s.Window {
-		s.xs = s.xs[1:]
-		s.ys = s.ys[1:]
+	if drop := len(s.xs) - s.Window; drop > 0 {
+		copy(s.xs, s.xs[drop:])
+		copy(s.ys, s.ys[drop:])
+		s.xs = s.xs[:s.Window]
+		s.ys = s.ys[:s.Window]
 	}
 	s.seen++
 }
@@ -146,8 +158,10 @@ type Hedge struct {
 	gains []float64
 	rng   *rand.Rand
 
-	// nominees of the current round, kept to update gains next round.
+	// nominees of the current round, kept to update gains next round
+	// (and reused as the next round's scratch once consumed).
 	lastNominees []int
+	weights      []float64
 	hasNominees  bool
 }
 
@@ -160,7 +174,14 @@ func NewHedge(acqs []Acquisition, eta float64, rng *rand.Rand) *Hedge {
 	if eta <= 0 {
 		panic(fmt.Sprintf("bayesopt: eta %v must be positive", eta))
 	}
-	return &Hedge{acqs: acqs, eta: eta, gains: make([]float64, len(acqs)), rng: rng}
+	return &Hedge{
+		acqs:         acqs,
+		eta:          eta,
+		gains:        make([]float64, len(acqs)),
+		rng:          rng,
+		lastNominees: make([]int, len(acqs)),
+		weights:      make([]float64, len(acqs)),
+	}
 }
 
 // Propose returns the next integer point in [lo, hi] chosen by the
@@ -180,18 +201,22 @@ func (h *Hedge) Propose(gp *GP, lo, hi int, best float64) int {
 		}
 	}
 
-	// Each acquisition nominates its argmax over the integer grid.
-	nominees := make([]int, len(h.acqs))
-	for i, a := range h.acqs {
-		bestScore := math.Inf(-1)
-		bestX := lo
-		for x := lo; x <= hi; x++ {
-			mu, sd := gp.Predict(float64(x))
-			if sc := a.Score(mu, sd, best); sc > bestScore {
-				bestScore, bestX = sc, x
+	// Each acquisition nominates its argmax over the integer grid. The
+	// previous nominees were consumed above, so their slice is reused.
+	// One posterior evaluation per grid point serves every acquisition.
+	nominees := h.lastNominees[:len(h.acqs)]
+	scores := h.weights[:len(h.acqs)]
+	for i := range scores {
+		scores[i] = math.Inf(-1)
+		nominees[i] = lo
+	}
+	for x := lo; x <= hi; x++ {
+		mu, sd := gp.Predict(float64(x))
+		for i, a := range h.acqs {
+			if sc := a.Score(mu, sd, best); sc > scores[i] {
+				scores[i], nominees[i] = sc, x
 			}
 		}
-		nominees[i] = bestX
 	}
 	h.lastNominees = nominees
 	h.hasNominees = true
@@ -203,7 +228,7 @@ func (h *Hedge) Propose(gp *GP, lo, hi int, best float64) int {
 			maxG = g
 		}
 	}
-	weights := make([]float64, len(h.gains))
+	weights := h.weights[:len(h.gains)]
 	sum := 0.0
 	for i, g := range h.gains {
 		w := math.Exp(h.eta * (g - maxG))

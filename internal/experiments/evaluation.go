@@ -4,39 +4,60 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 )
 
 // allNetworks runs one Falcon agent per Table 1 testbed and reports the
 // converged throughput and concurrency — the content of Figures 9 (GD)
-// and 10 (BO).
+// and 10 (BO). The four testbeds share no engine, so they run across
+// the parallel worker pool into per-network slots that are assembled in
+// Table 1 order — byte-identical to a serial loop.
 func allNetworks(id, title, algo string, seed int64) (*Result, error) {
 	r := &Result{
 		ID:     id,
 		Title:  title,
 		Header: []string{"Testbed", "Converged throughput (Gbps)", "Converged concurrency", "Capacity (Gbps)"},
 	}
-	for _, cfg := range testbed.Table1() {
+	cfgs := testbed.Table1()
+	type slot struct {
+		tl       *testbed.Timeline
+		capacity float64
+		err      error
+	}
+	slots := make([]slot, len(cfgs))
+	parallel.ForEach(len(cfgs), func(i int) {
+		cfg := cfgs[i]
 		agent, err := core.NewAgentByName(algo, 32, seed)
 		if err != nil {
-			return nil, err
+			slots[i].err = err
+			return
 		}
-		horizon := 300.0
-		tl, err := scenario(cfg, seed, horizon, testbed.Participant{Task: endlessTask(cfg.Name, 2), Controller: agent})
+		tl, err := scenario(cfg, seed, 300, testbed.Participant{Task: endlessTask(cfg.Name, 2), Controller: agent})
 		if err != nil {
-			return nil, err
+			slots[i].err = err
+			return
 		}
 		eng, err := testbed.NewEngine(cfg, seed)
 		if err != nil {
-			return nil, err
+			slots[i].err = err
+			return
 		}
+		slots[i] = slot{tl: tl, capacity: eng.EndToEndCapacity()}
+	})
+	const horizon = 300.0
+	for i, cfg := range cfgs {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
+		tl := slots[i].tl
 		tput := tl.MeanThroughputGbps(cfg.Name, horizon*0.5, horizon)
 		cc := tl.Concurrency.Lookup(cfg.Name).MeanAfter(horizon * 0.5)
-		r.AddRow(cfg.Name, fmt.Sprintf("%.2f", tput), fmt.Sprintf("%.1f", cc), gbps(eng.EndToEndCapacity()))
+		r.AddRow(cfg.Name, fmt.Sprintf("%.2f", tput), fmt.Sprintf("%.1f", cc), gbps(slots[i].capacity))
 		copyChart(r.Chart("throughput"), &tl.Throughput)
 		copyChart(r.Chart("concurrency"), &tl.Concurrency)
-		r.AddNote("%s: %.0f%% of end-to-end capacity", cfg.Name, 100*tput*1e9/eng.EndToEndCapacity())
+		r.AddNote("%s: %.0f%% of end-to-end capacity", cfg.Name, 100*tput*1e9/slots[i].capacity)
 	}
 	return r, nil
 }

@@ -13,7 +13,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -151,14 +153,46 @@ func All() []Runner {
 	}
 }
 
+// registry is the lazily-built ID → Runner index behind ByID, so
+// repeated lookups (bench helpers, CLI argument parsing) don't rebuild
+// and rescan the full runner list.
+var (
+	registryOnce sync.Once
+	registry     map[string]Runner
+)
+
 // ByID returns the runner with the given ID.
 func ByID(id string) (Runner, bool) {
-	for _, r := range All() {
-		if r.ID == id {
-			return r, true
+	registryOnce.Do(func() {
+		all := All()
+		registry = make(map[string]Runner, len(all))
+		for _, r := range all {
+			registry[r.ID] = r
 		}
-	}
-	return Runner{}, false
+	})
+	r, ok := registry[id]
+	return r, ok
+}
+
+// Outcome is one runner's completed execution.
+type Outcome struct {
+	Runner Runner
+	Result *Result
+	Err    error
+}
+
+// Run executes the given runners across at most workers goroutines and
+// returns their outcomes in input order. Every runner receives the
+// same base seed it would receive from a serial loop and builds its
+// own engines, so the assembled outcomes are byte-identical to serial
+// execution regardless of worker count (workers ≤ 1 runs inline).
+func Run(runners []Runner, seed int64, workers int) []Outcome {
+	out := make([]Outcome, len(runners))
+	parallel.ForEachN(len(runners), workers, func(i int) {
+		res, err := runners[i].Run(seed)
+		out[i] = Outcome{Runner: runners[i], Result: res, Err: err}
+	})
+	return out
 }
 
 // gbps formats a bits/s value in Gbps.

@@ -1,0 +1,178 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chol is a growable Cholesky factorisation of a symmetric
+// positive-definite matrix, stored as a row-major packed lower
+// triangle: row i occupies data[i(i+1)/2 : i(i+1)/2+i+1]. It is built
+// for the Gaussian Process surrogate's sliding observation window:
+//
+//   - AppendRow extends an n×n factor to (n+1)×(n+1) given the new
+//     bordering row of the underlying matrix, in O(n²) — the bordered
+//     recurrence is exactly the inner loop of a full factorisation, so
+//     building a factor row by row is bit-identical to factorising the
+//     full matrix at once.
+//   - DropFirst deletes the first row/column of the underlying matrix
+//     in O(n²) via a positive rank-1 update, instead of the O(n³)
+//     refactorisation a fresh fit would need.
+//
+// The packed layout touches n(n+1)/2 floats with direct indexing, so
+// solves run without the bounds checks and zero upper triangle of the
+// dense Matrix representation.
+type Chol struct {
+	n    int
+	data []float64
+	xbuf []float64 // DropFirst update-vector scratch
+}
+
+// NewChol returns an empty factor with capacity reserved for an n×n
+// matrix.
+func NewChol(n int) *Chol {
+	if n < 0 {
+		n = 0
+	}
+	return &Chol{data: make([]float64, 0, n*(n+1)/2)}
+}
+
+// Size returns the current dimension of the factored matrix.
+func (c *Chol) Size() int { return c.n }
+
+// Reset empties the factor, keeping its storage.
+func (c *Chol) Reset() {
+	c.n = 0
+	c.data = c.data[:0]
+}
+
+// At returns L[i][j] for j ≤ i. It is meant for tests and diagnostics;
+// hot paths index the packed triangle directly.
+func (c *Chol) At(i, j int) float64 {
+	if i < 0 || i >= c.n || j < 0 || j > i {
+		panic(fmt.Sprintf("linalg: Chol index (%d,%d) out of range for size %d", i, j, c.n))
+	}
+	return c.data[i*(i+1)/2+j]
+}
+
+// AppendRow grows the factor from n×n to (n+1)×(n+1). row holds the
+// new bordering row of the underlying matrix A: row[j] = A[n][j] for
+// j ≤ n, with row[n] the new diagonal element. It returns
+// ErrNotPositiveDefinite (leaving the factor unchanged) if the bordered
+// matrix is not numerically positive-definite.
+func (c *Chol) AppendRow(row []float64) error {
+	n := c.n
+	if len(row) != n+1 {
+		panic(fmt.Sprintf("linalg: AppendRow length %d != %d", len(row), n+1))
+	}
+	base := len(c.data)
+	c.data = append(c.data, row...)
+	out := c.data[base:]
+	// Forward-substitute: L[n][j] = (A[n][j] − Σ_{k<j} L[n][k]·L[j][k]) / L[j][j].
+	for j := 0; j < n; j++ {
+		lrow := c.data[j*(j+1)/2:]
+		s := out[j]
+		for k := 0; k < j; k++ {
+			s -= out[k] * lrow[k]
+		}
+		out[j] = s / lrow[j]
+	}
+	d := out[n]
+	for k := 0; k < n; k++ {
+		d -= out[k] * out[k]
+	}
+	if d <= 0 || math.IsNaN(d) {
+		c.data = c.data[:base]
+		return ErrNotPositiveDefinite
+	}
+	out[n] = math.Sqrt(d)
+	c.n = n + 1
+	return nil
+}
+
+// DropFirst removes the first row and column of the underlying matrix:
+// if A = L·Lᵀ then A[1:,1:] = L₂₂·L₂₂ᵀ + l₂₁·l₂₁ᵀ, so the new factor is
+// the positive rank-1 update of the trailing submatrix's factor by the
+// first column — numerically stable (LINPACK dchud) and O(n²).
+// Dropping from an empty factor panics.
+func (c *Chol) DropFirst() {
+	if c.n == 0 {
+		panic("linalg: DropFirst on empty factor")
+	}
+	n := c.n - 1
+	if n == 0 {
+		c.Reset()
+		return
+	}
+	// x = l21: the first column below the diagonal, consumed in place
+	// as the update vector while rows compact forward.
+	if cap(c.xbuf) < n {
+		c.xbuf = make([]float64, n)
+	}
+	x := c.xbuf[:n]
+	for i := 0; i < n; i++ {
+		x[i] = c.data[(i+1)*(i+2)/2]
+	}
+	// Compact the trailing factor L22 into rows 0..n-1.
+	for i := 0; i < n; i++ {
+		src := c.data[(i+1)*(i+2)/2+1 : (i+1)*(i+2)/2+i+2]
+		dst := c.data[i*(i+1)/2 : i*(i+1)/2+i+1]
+		copy(dst, src)
+	}
+	c.n = n
+	c.data = c.data[:n*(n+1)/2]
+	// Rank-1 update: L22·L22ᵀ += x·xᵀ column by column.
+	for k := 0; k < n; k++ {
+		diag := c.data[k*(k+1)/2+k]
+		r := math.Hypot(diag, x[k])
+		cos := r / diag
+		sin := x[k] / diag
+		c.data[k*(k+1)/2+k] = r
+		for i := k + 1; i < n; i++ {
+			v := c.data[i*(i+1)/2+k]
+			v = (v + sin*x[i]) / cos
+			c.data[i*(i+1)/2+k] = v
+			x[i] = cos*x[i] - sin*v
+		}
+	}
+}
+
+// SolveLowerInto solves L·x = b by forward substitution, writing into
+// x (which may alias b). It panics on length mismatches.
+func (c *Chol) SolveLowerInto(x, b []float64) {
+	n := c.n
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("linalg: SolveLowerInto lengths %d,%d != %d", len(x), len(b), n))
+	}
+	for i := 0; i < n; i++ {
+		row := c.data[i*(i+1)/2:]
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+}
+
+// SolveInto solves A·x = b (A = L·Lᵀ) via forward then backward
+// substitution, writing into x (which may alias b).
+func (c *Chol) SolveInto(x, b []float64) {
+	n := c.n
+	c.SolveLowerInto(x, b)
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.data[k*(k+1)/2+i] * x[k]
+		}
+		x[i] = s / c.data[i*(i+1)/2+i]
+	}
+}
+
+// LogDet returns log|A| = 2·Σ log L[i][i].
+func (c *Chol) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.data[i*(i+1)/2+i])
+	}
+	return 2 * s
+}

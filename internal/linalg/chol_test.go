@@ -1,0 +1,219 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSPD builds a random n×n SPD matrix A = BᵀB + n·I.
+func randSPD(n int, rng *rand.Rand) *Matrix {
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := b.Transpose().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+// buildChol factors a via successive AppendRow calls.
+func buildChol(t *testing.T, a *Matrix) *Chol {
+	t.Helper()
+	n := a.Rows()
+	c := NewChol(n)
+	row := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j <= i; j++ {
+			row = append(row, a.At(i, j))
+		}
+		if err := c.AppendRow(row); err != nil {
+			t.Fatalf("AppendRow %d: %v", i, err)
+		}
+	}
+	return c
+}
+
+// TestAppendRowMatchesDenseCholesky: building the factor row by row is
+// bit-identical to the dense factorisation — the invariant that makes
+// the GP's incremental fit produce the same numbers as a full refit.
+func TestAppendRowMatchesDenseCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 12, 20} {
+		a := randSPD(n, rng)
+		want, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := buildChol(t, a)
+		if c.Size() != n {
+			t.Fatalf("size = %d, want %d", c.Size(), n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if got := c.At(i, j); got != want.At(i, j) {
+					t.Fatalf("n=%d: L[%d][%d] = %v, want %v (not bit-identical)", n, i, j, got, want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestAppendRowRejectsNonPD(t *testing.T) {
+	c := NewChol(2)
+	if err := c.AppendRow([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Second row makes the matrix singular: [[1,1],[1,1]].
+	if err := c.AppendRow([]float64{1, 1}); err == nil {
+		t.Fatal("AppendRow accepted a singular matrix")
+	}
+	if c.Size() != 1 {
+		t.Fatalf("failed append mutated the factor: size %d", c.Size())
+	}
+}
+
+// TestDropFirstMatchesRefactorisation: dropping the first row/column
+// must agree with factoring the trailing submatrix from scratch (up to
+// rank-1-update rounding).
+func TestDropFirstMatchesRefactorisation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 3, 8, 20} {
+		a := randSPD(n, rng)
+		c := buildChol(t, a)
+		c.DropFirst()
+
+		sub := NewMatrix(n-1, n-1)
+		for i := 1; i < n; i++ {
+			for j := 1; j < n; j++ {
+				sub.Set(i-1, j-1, a.At(i, j))
+			}
+		}
+		want, err := Cholesky(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n-1; i++ {
+			for j := 0; j <= i; j++ {
+				if got := c.At(i, j); math.Abs(got-want.At(i, j)) > 1e-9*(1+math.Abs(want.At(i, j))) {
+					t.Fatalf("n=%d: L[%d][%d] = %v, want %v", n, i, j, got, want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestDropFirstToEmpty(t *testing.T) {
+	c := NewChol(1)
+	if err := c.AppendRow([]float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	c.DropFirst()
+	if c.Size() != 0 {
+		t.Fatalf("size = %d, want 0", c.Size())
+	}
+}
+
+func TestCholSolveMatchesSolveCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 12
+	a := randSPD(n, rng)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SolveCholesky(l, b)
+
+	c := buildChol(t, a)
+	got := make([]float64, n)
+	c.SolveInto(got, b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Forward solve only.
+	wantLower := SolveLower(l, b)
+	gotLower := make([]float64, n)
+	c.SolveLowerInto(gotLower, b)
+	for i := range wantLower {
+		if gotLower[i] != wantLower[i] {
+			t.Fatalf("lower x[%d] = %v, want %v", i, gotLower[i], wantLower[i])
+		}
+	}
+
+	if got, want := c.LogDet(), LogDetFromCholesky(l); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+		t.Fatalf("LogDet = %v, want %v", got, want)
+	}
+}
+
+// TestSlidingWindowSequence simulates the GP's window: append to 20,
+// then repeatedly drop-and-append, checking solves stay close to a
+// from-scratch factorisation throughout.
+func TestSlidingWindowSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	const window = 20
+	kernel := func(a, b float64) float64 {
+		d := (a - b) / 4
+		v := math.Exp(-0.5 * d * d)
+		if a == b {
+			v += 0.02
+		}
+		return v
+	}
+	var xs []float64
+	c := NewChol(window)
+	row := make([]float64, 0, window)
+	for step := 0; step < 60; step++ {
+		x := float64(step) + 0.1*rng.Float64()
+		if len(xs) == window {
+			xs = xs[1:]
+			c.DropFirst()
+		}
+		xs = append(xs, x)
+		row = row[:0]
+		for _, xi := range xs {
+			row = append(row, kernel(x, xi))
+		}
+		if err := c.AppendRow(row); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+
+		if step%10 != 9 {
+			continue
+		}
+		n := len(xs)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, kernel(xs[i], xs[j]))
+			}
+		}
+		want, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = math.Sin(float64(i))
+		}
+		wantX := SolveCholesky(want, b)
+		gotX := make([]float64, n)
+		c.SolveInto(gotX, b)
+		for i := range wantX {
+			if math.Abs(gotX[i]-wantX[i]) > 1e-8*(1+math.Abs(wantX[i])) {
+				t.Fatalf("step %d: x[%d] = %v, want %v", step, i, gotX[i], wantX[i])
+			}
+		}
+	}
+}

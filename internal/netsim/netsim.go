@@ -17,9 +17,14 @@
 //     quadratic growth of packet loss with concurrency shown in the
 //     paper's Figure 4.
 //
-// The model is stateless: Allocate maps a set of flow demands to rates
-// and loss estimates. Time dynamics (slow-start ramping, measurement
-// noise, task arrival/departure) live in package testbed.
+// The model is stateless in its observable behaviour: Allocate maps a
+// set of flow demands to rates and loss estimates, and the same inputs
+// always produce the same outputs. Internally the Network owns a
+// scratch arena of integer-indexed buffers reused across calls, so the
+// steady-state allocation path performs no heap allocations; a Network
+// is therefore not safe for concurrent use. Time dynamics (slow-start
+// ramping, measurement noise, task arrival/departure) live in package
+// testbed.
 package netsim
 
 import (
@@ -138,15 +143,69 @@ func BBRLossModel() LossModel {
 	return LossModel{MSSBits: 12000, Scale: 0.15, Base: 1e-4, Max: 0.02}
 }
 
+// scratch is the Network-owned arena of reusable buffers for
+// Allocate/waterFill. Buffers indexed by resource have length
+// len(resList); buffers indexed by demand are resized per call. The
+// arena makes the steady-state allocation path allocation-free at the
+// cost of making Network unsafe for concurrent use.
+type scratch struct {
+	// Per-demand buffers.
+	rates  []float64
+	frozen []bool
+	// resIdx holds every demand's resource indices flattened;
+	// demand i's indices are resIdx[offsets[i]:offsets[i+1]].
+	resIdx  []int
+	offsets []int
+
+	// Per-resource buffers.
+	remaining []float64
+	weight    []float64
+	exhausted []bool
+	used      []float64
+	sat       []bool
+	fairShare []float64
+
+	// Validation set, cleared on every call.
+	seen map[string]bool
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
 // Network is a set of resources plus a loss model.
 type Network struct {
-	resources map[string]*Resource
-	loss      LossModel
+	index   map[string]int // resource ID → index into resList
+	resList []Resource
+	loss    LossModel
+	scr     scratch
 }
 
 // New returns an empty network with the default loss model.
 func New() *Network {
-	return &Network{resources: make(map[string]*Resource), loss: DefaultLossModel()}
+	return &Network{
+		index: make(map[string]int),
+		loss:  DefaultLossModel(),
+		scr:   scratch{seen: make(map[string]bool)},
+	}
 }
 
 // SetLossModel replaces the loss model.
@@ -165,34 +224,34 @@ func (n *Network) AddResource(r Resource) {
 	if r.Capacity <= 0 {
 		panic(fmt.Sprintf("netsim: resource %q has non-positive capacity %v", r.ID, r.Capacity))
 	}
-	if _, dup := n.resources[r.ID]; dup {
+	if _, dup := n.index[r.ID]; dup {
 		panic(fmt.Sprintf("netsim: duplicate resource %q", r.ID))
 	}
-	cp := r
-	n.resources[r.ID] = &cp
+	n.index[r.ID] = len(n.resList)
+	n.resList = append(n.resList, r)
 }
 
 // SetCapacity adjusts a resource's capacity (used by testbeds to model
 // contention-dependent storage capacity). It panics if the resource
 // does not exist or capacity is not positive.
 func (n *Network) SetCapacity(id string, capacity float64) {
-	r, ok := n.resources[id]
+	i, ok := n.index[id]
 	if !ok {
 		panic(fmt.Sprintf("netsim: unknown resource %q", id))
 	}
 	if capacity <= 0 {
 		panic(fmt.Sprintf("netsim: resource %q capacity %v must be positive", id, capacity))
 	}
-	r.Capacity = capacity
+	n.resList[i].Capacity = capacity
 }
 
 // Resource returns a copy of the resource with the given ID.
 func (n *Network) Resource(id string) (Resource, bool) {
-	r, ok := n.resources[id]
+	i, ok := n.index[id]
 	if !ok {
 		return Resource{}, false
 	}
-	return *r, true
+	return n.resList[i], true
 }
 
 // Allocate computes the max-min fair allocation for the given demands
@@ -204,32 +263,66 @@ func (n *Network) Allocate(demands []Demand) (*Allocation, error) {
 		Rate: make(map[string]float64, len(demands)),
 		Loss: make(map[string]float64, len(demands)),
 	}
+	if err := n.AllocateInto(alloc, demands); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// AllocateInto is Allocate writing its result into a caller-owned
+// Allocation whose maps and slice are reused across calls, so the
+// steady-state path allocates nothing. The result is valid until the
+// next AllocateInto with the same receiver. A nil-map Allocation is
+// initialised on first use.
+func (n *Network) AllocateInto(alloc *Allocation, demands []Demand) error {
+	if alloc.Rate == nil {
+		alloc.Rate = make(map[string]float64, len(demands))
+	} else {
+		clear(alloc.Rate)
+	}
+	if alloc.Loss == nil {
+		alloc.Loss = make(map[string]float64, len(demands))
+	} else {
+		clear(alloc.Loss)
+	}
+	alloc.Saturated = alloc.Saturated[:0]
 	if len(demands) == 0 {
-		return alloc, nil
+		return nil
 	}
 
-	// Validate and index.
-	seen := make(map[string]bool, len(demands))
+	// Validate and translate resource IDs to indices into the flattened
+	// scratch index buffer.
+	s := &n.scr
+	clear(s.seen)
+	s.resIdx = s.resIdx[:0]
+	s.offsets = s.offsets[:0]
+	if cap(s.offsets) < len(demands)+1 {
+		s.offsets = make([]int, 0, len(demands)+1)
+	}
+	s.offsets = append(s.offsets, 0)
 	for i := range demands {
 		d := &demands[i]
 		if d.FlowID == "" {
-			return nil, fmt.Errorf("netsim: demand %d has empty FlowID", i)
+			return fmt.Errorf("netsim: demand %d has empty FlowID", i)
 		}
-		if seen[d.FlowID] {
-			return nil, fmt.Errorf("netsim: duplicate FlowID %q", d.FlowID)
+		if s.seen[d.FlowID] {
+			return fmt.Errorf("netsim: duplicate FlowID %q", d.FlowID)
 		}
-		seen[d.FlowID] = true
+		s.seen[d.FlowID] = true
 		if d.Cap <= 0 {
-			return nil, fmt.Errorf("netsim: flow %q has non-positive cap %v", d.FlowID, d.Cap)
+			return fmt.Errorf("netsim: flow %q has non-positive cap %v", d.FlowID, d.Cap)
 		}
 		if d.Weight < 0 {
-			return nil, fmt.Errorf("netsim: flow %q has negative weight %d", d.FlowID, d.Weight)
+			return fmt.Errorf("netsim: flow %q has negative weight %d", d.FlowID, d.Weight)
 		}
 		for _, rid := range d.Resources {
-			if _, ok := n.resources[rid]; !ok {
-				return nil, fmt.Errorf("netsim: flow %q references unknown resource %q", d.FlowID, rid)
+			ri, ok := n.index[rid]
+			if !ok {
+				return fmt.Errorf("netsim: flow %q references unknown resource %q", d.FlowID, rid)
 			}
+			s.resIdx = append(s.resIdx, ri)
 		}
+		s.offsets = append(s.offsets, len(s.resIdx))
 	}
 
 	rates := n.waterFill(demands)
@@ -238,43 +331,60 @@ func (n *Network) Allocate(demands []Demand) (*Allocation, error) {
 	}
 
 	// Determine saturated resources from the final allocation.
-	used := make(map[string]float64, len(n.resources))
+	nr := len(n.resList)
+	s.used = growFloats(s.used, nr)
 	for i := range demands {
-		for _, rid := range demands[i].Resources {
-			used[rid] += rates[i] * demands[i].weight()
+		w := demands[i].weight()
+		for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
+			s.used[ri] += rates[i] * w
 		}
 	}
 	const satTol = 1e-6
-	satSet := make(map[string]bool)
-	for rid, u := range used {
-		capv := n.resources[rid].Capacity
-		if u >= capv*(1-satTol) {
-			satSet[rid] = true
-			alloc.Saturated = append(alloc.Saturated, rid)
+	s.sat = growBools(s.sat, nr)
+	for ri, u := range s.used {
+		if u >= n.resList[ri].Capacity*(1-satTol) {
+			s.sat[ri] = true
+			alloc.Saturated = append(alloc.Saturated, n.resList[ri].ID)
 		}
 	}
 	sort.Strings(alloc.Saturated)
 
-	// Loss: flows crossing a saturated Link experience Mathis-model
-	// loss for their allocated rate; all link-crossing flows see the
-	// base loss floor.
+	// Per saturated link, the fair share is the largest per-flow rate
+	// among the flows crossing it: the rate the link's own congestion
+	// feedback imposes on flows it actually limits.
+	s.fairShare = growFloats(s.fairShare, nr)
+	for i := range demands {
+		for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
+			if s.sat[ri] && rates[i] > s.fairShare[ri] {
+				s.fairShare[ri] = rates[i]
+			}
+		}
+	}
+
+	// Loss: flows pushing a saturated Link at its fair share experience
+	// Mathis-model loss for their allocated rate; flows that are
+	// rate-limited elsewhere (rate strictly below the link fair share)
+	// do not fill the queue and see only the base loss floor, as do all
+	// flows on unsaturated links.
+	const fsTol = 1e-6
 	for i := range demands {
 		d := &demands[i]
 		loss := 0.0
 		crossesLink := false
-		for _, rid := range d.Resources {
-			r := n.resources[rid]
+		for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
+			r := &n.resList[ri]
 			if r.Kind != Link {
 				continue
 			}
 			crossesLink = true
-			if !satSet[rid] {
+			if !s.sat[ri] {
 				continue
 			}
-			// The flow is rate-limited elsewhere (cap below its fair
-			// share) only if its rate is strictly below the link fair
-			// share; such flows do not push the queue and see only
-			// base loss from this link.
+			if rates[i] < s.fairShare[ri]*(1-fsTol) {
+				// Cap-limited below the link's fair share: only base
+				// loss from this link.
+				continue
+			}
 			if l := n.mathisLoss(d.RTT, rates[i]); l > loss {
 				loss = l
 			}
@@ -287,7 +397,7 @@ func (n *Network) Allocate(demands []Demand) (*Allocation, error) {
 		}
 		alloc.Loss[d.FlowID] = loss
 	}
-	return alloc, nil
+	return nil
 }
 
 // mathisLoss inverts the Mathis throughput relation
@@ -307,49 +417,53 @@ func (n *Network) mathisLoss(rtt, rate float64) float64 {
 
 // waterFill runs progressive filling: raise all unfrozen flows' rates
 // in lockstep until a resource saturates or a flow hits its cap; freeze
-// the affected flows; repeat.
+// the affected flows; repeat. It requires the scratch resIdx/offsets
+// buffers to be populated for demands, and returns a scratch-owned rate
+// slice valid until the next call.
 func (n *Network) waterFill(demands []Demand) []float64 {
 	nf := len(demands)
-	rates := make([]float64, nf)
-	frozen := make([]bool, nf)
-	remaining := make(map[string]float64, len(n.resources))
-	for id, r := range n.resources {
-		remaining[id] = r.Capacity
+	nr := len(n.resList)
+	s := &n.scr
+	s.rates = growFloats(s.rates, nf)
+	s.frozen = growBools(s.frozen, nf)
+	s.remaining = growFloats(s.remaining, nr)
+	s.weight = growFloats(s.weight, nr)
+	s.exhausted = growBools(s.exhausted, nr)
+	for ri := range n.resList {
+		s.remaining[ri] = n.resList[ri].Capacity
 	}
 
-	activeWeight := func() map[string]float64 {
-		c := make(map[string]float64)
+	for iter := 0; iter < nf+nr+1; iter++ {
+		// Active weight per resource.
+		for ri := range s.weight {
+			s.weight[ri] = 0
+		}
 		for i := range demands {
-			if frozen[i] {
+			if s.frozen[i] {
 				continue
 			}
 			w := demands[i].weight()
-			for _, rid := range demands[i].Resources {
-				c[rid] += w
+			for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
+				s.weight[ri] += w
 			}
 		}
-		return c
-	}
-
-	for iter := 0; iter < nf+len(n.resources)+1; iter++ {
-		counts := activeWeight()
 		// Smallest headroom increment across resources and caps.
 		inc := math.Inf(1)
-		for rid, w := range counts {
+		for ri, w := range s.weight {
 			if w == 0 {
 				continue
 			}
-			if h := remaining[rid] / w; h < inc {
+			if h := s.remaining[ri] / w; h < inc {
 				inc = h
 			}
 		}
 		anyActive := false
 		for i := range demands {
-			if frozen[i] {
+			if s.frozen[i] {
 				continue
 			}
 			anyActive = true
-			if h := demands[i].Cap - rates[i]; h < inc {
+			if h := demands[i].Cap - s.rates[i]; h < inc {
 				inc = h
 			}
 		}
@@ -361,37 +475,34 @@ func (n *Network) waterFill(demands []Demand) []float64 {
 		}
 		// Raise all active flows by inc and charge the resources.
 		for i := range demands {
-			if frozen[i] {
+			if s.frozen[i] {
 				continue
 			}
-			rates[i] += inc
+			s.rates[i] += inc
 			w := demands[i].weight()
-			for _, rid := range demands[i].Resources {
-				remaining[rid] -= inc * w
+			for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
+				s.remaining[ri] -= inc * w
 			}
 		}
 		// Freeze flows that hit their cap or traverse an exhausted
 		// resource.
 		const tol = 1e-9
-		exhausted := make(map[string]bool)
-		for rid := range counts {
-			if remaining[rid] <= tol*n.resources[rid].Capacity {
-				exhausted[rid] = true
-			}
+		for ri, w := range s.weight {
+			s.exhausted[ri] = w > 0 && s.remaining[ri] <= tol*n.resList[ri].Capacity
 		}
 		progressed := false
 		for i := range demands {
-			if frozen[i] {
+			if s.frozen[i] {
 				continue
 			}
-			if rates[i] >= demands[i].Cap-tol*demands[i].Cap {
-				frozen[i] = true
+			if s.rates[i] >= demands[i].Cap-tol*demands[i].Cap {
+				s.frozen[i] = true
 				progressed = true
 				continue
 			}
-			for _, rid := range demands[i].Resources {
-				if exhausted[rid] {
-					frozen[i] = true
+			for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
+				if s.exhausted[ri] {
+					s.frozen[i] = true
 					progressed = true
 					break
 				}
@@ -400,10 +511,10 @@ func (n *Network) waterFill(demands []Demand) []float64 {
 		if !progressed && inc == 0 {
 			// Nothing can advance: freeze everything still active to
 			// guarantee termination (degenerate zero-headroom state).
-			for i := range frozen {
-				frozen[i] = true
+			for i := range s.frozen {
+				s.frozen[i] = true
 			}
 		}
 	}
-	return rates
+	return s.rates
 }

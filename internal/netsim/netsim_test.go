@@ -383,6 +383,90 @@ func TestAllocationInvariantsProperty(t *testing.T) {
 	}
 }
 
+// TestCapLimitedFlowSeesOnlyBaseLoss is the regression test for loss
+// attribution: a flow whose cap holds it strictly below a saturated
+// link's fair share never fills the queue, so it must see only the
+// base loss floor while the flows actually pushing the link get the
+// Mathis-model loss (§3.1's sender-limited case).
+func TestCapLimitedFlowSeesOnlyBaseLoss(t *testing.T) {
+	n := singleLinkNet(100 * mbps)
+	a, err := n.Allocate([]Demand{
+		demand("small", 5*mbps, 0.03, "link"), // capped far below fair share
+		demand("big", 1*gbps, 0.03, "link"),   // link-limited at 95 Mbps
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Saturated) != 1 || a.Saturated[0] != "link" {
+		t.Fatalf("saturated = %v, want [link]", a.Saturated)
+	}
+	base := n.LossModel().Base
+	if l := a.Loss["small"]; math.Abs(l-base) > base/10 {
+		t.Fatalf("cap-limited flow loss = %v, want ≈ base %v", l, base)
+	}
+	if l := a.Loss["big"]; l <= base*2 {
+		t.Fatalf("link-limited flow loss = %v, want Mathis loss above base", l)
+	}
+}
+
+// TestAllocateIntoReusesResult checks that AllocateInto reuses the
+// caller's Allocation and matches Allocate exactly.
+func TestAllocateIntoReusesResult(t *testing.T) {
+	n := singleLinkNet(100 * mbps)
+	ds := []Demand{
+		demand("a", 1*gbps, 0.03, "link"),
+		demand("b", 10*mbps, 0.03, "link"),
+	}
+	want, err := n.Allocate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Allocation
+	for i := 0; i < 3; i++ { // repeated calls must not accumulate state
+		if err := n.AllocateInto(&got, ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got.Rate) != len(want.Rate) || len(got.Loss) != len(want.Loss) {
+		t.Fatalf("sizes differ: got %d/%d want %d/%d", len(got.Rate), len(got.Loss), len(want.Rate), len(want.Loss))
+	}
+	for id, r := range want.Rate {
+		if got.Rate[id] != r {
+			t.Fatalf("Rate[%s] = %v, want %v", id, got.Rate[id], r)
+		}
+	}
+	for id, l := range want.Loss {
+		if got.Loss[id] != l {
+			t.Fatalf("Loss[%s] = %v, want %v", id, got.Loss[id], l)
+		}
+	}
+	if fmt.Sprint(got.Saturated) != fmt.Sprint(want.Saturated) {
+		t.Fatalf("Saturated = %v, want %v", got.Saturated, want.Saturated)
+	}
+}
+
+// BenchmarkAllocate measures the steady-state allocation path: 64 flows
+// over a two-resource path with the result written into a reused
+// Allocation, exercising the Network's scratch arena. This is the
+// configuration the allocs/op CI baseline tracks.
+func BenchmarkAllocate(b *testing.B) {
+	n := New()
+	n.AddResource(Resource{ID: "link", Kind: Link, Capacity: 10 * gbps})
+	n.AddResource(Resource{ID: "store", Kind: Storage, Capacity: 8 * gbps})
+	ds := make([]Demand, 64)
+	for i := range ds {
+		ds[i] = demand(fmt.Sprintf("f%d", i), 500*mbps, 0.03, "store", "link")
+	}
+	var alloc Allocation
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.AllocateInto(&alloc, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkAllocate64Flows(b *testing.B) {
 	n := New()
 	n.AddResource(Resource{ID: "link", Kind: Link, Capacity: 10 * gbps})

@@ -1,0 +1,59 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachNCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		n := 100
+		counts := make([]int32, n)
+		ForEachN(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachNZeroAndNegative(t *testing.T) {
+	ran := false
+	ForEachN(0, 4, func(int) { ran = true })
+	ForEachN(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for non-positive n")
+	}
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(-5)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", Workers())
+	}
+	SetWorkers(7)
+	if Workers() != 7 {
+		t.Fatalf("Workers() = %d, want 7", Workers())
+	}
+}
+
+func TestForEachNPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	ForEachN(10, 4, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}

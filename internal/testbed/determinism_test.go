@@ -1,0 +1,53 @@
+package testbed
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/transfer"
+)
+
+// cycler is a controller that walks concurrency through a fixed cycle,
+// exercising both memo hits (repeated settings) and misses (changes).
+type cycler struct {
+	vals []int
+	i    *int
+}
+
+func (c cycler) Decide(transfer.Sample) transfer.Setting {
+	v := c.vals[*c.i%len(c.vals)]
+	*c.i++
+	return transfer.Setting{Concurrency: v, Parallelism: 1, Pipelining: 1}
+}
+
+// TestAllocMemoIsTransparent: the memoized allocator is a pure cache —
+// a scenario with competing tasks, joins, leaves, and a concurrency-
+// cycling controller must produce exactly the same timeline with the
+// memo on (default) and off.
+func TestAllocMemoIsTransparent(t *testing.T) {
+	run := func(memo bool) *Timeline {
+		eng, err := NewEngine(HPCLab(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetAllocMemo(memo)
+		s := NewScheduler(eng, 1)
+		i := 0
+		parts := []Participant{
+			{Task: bigTask("t1", 2), Controller: cycler{vals: []int{2, 2, 5, 5, 3}, i: &i}},
+			{Task: bigTask("t2", 4)},
+			{Task: bigTask("t3", 1), JoinAt: 40, LeaveAt: 110},
+		}
+		for _, p := range parts {
+			if err := s.Add(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Run(150, 0.25)
+	}
+	with := run(true)
+	without := run(false)
+	if !reflect.DeepEqual(with, without) {
+		t.Fatal("memoized allocator changed the timeline vs unmemoized run")
+	}
+}

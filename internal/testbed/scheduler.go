@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/internal/transfer"
 )
@@ -230,25 +231,35 @@ func (s *Scheduler) logf(format string, args ...any) {
 // each concurrency value in values, running each as a fresh single
 // transfer for settleTime seconds and measuring over the final
 // measureTime seconds. It is the workhorse behind Figures 1(a) and 4.
+//
+// Sweep points share no engine: each runs on its own Engine seeded
+// seed+i, so the points execute across the parallel worker pool with
+// results assembled by index — identical to a serial sweep. The ds
+// factory is called once per point, possibly concurrently, and must
+// not share mutable state between calls.
 func SweepConcurrency(cfg Config, seed int64, ds func() *transfer.Task, values []int, settleTime, measureTime float64) ([]float64, []float64, error) {
 	if settleTime <= 0 || measureTime <= 0 {
 		return nil, nil, fmt.Errorf("testbed: sweep times must be positive")
 	}
 	tputs := make([]float64, len(values))
 	losses := make([]float64, len(values))
-	for i, n := range values {
+	errs := make([]error, len(values))
+	parallel.ForEach(len(values), func(i int) {
 		eng, err := NewEngine(cfg, seed+int64(i))
 		if err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
 		task := ds()
 		set := task.Setting()
-		set.Concurrency = n
+		set.Concurrency = values[i]
 		if err := task.SetSetting(set); err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
 		if err := eng.AddTask(task); err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
 		const tick = 0.25
 		for eng.Now() < settleTime {
@@ -260,10 +271,16 @@ func SweepConcurrency(cfg Config, seed int64, ds func() *transfer.Task, values [
 		}
 		sample, err := eng.TakeSample(task.ID())
 		if err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
 		tputs[i] = sample.Throughput / 1e9
 		losses[i] = sample.Loss
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	return tputs, losses, nil
 }
