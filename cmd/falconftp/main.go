@@ -18,9 +18,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -107,6 +110,13 @@ func send(args []string) {
 		fail("%v", err)
 	}
 
+	// SIGINT/SIGTERM cancel the run context so the control loop stops at
+	// a clean point and the worker pool shuts down instead of leaving
+	// half-written transfers behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	interrupted := false
 	if *tune != "" {
 		agent, err := core.NewAgentByName(*tune, *maxCC, time.Now().UnixNano())
 		if err != nil {
@@ -115,22 +125,40 @@ func send(args []string) {
 		if err := agent.SetFixedKnobs(*p, *q); err != nil {
 			fail("%v", err)
 		}
-		err = core.Run(context.Background(), client, agent, core.RunConfig{
+		err = core.Run(ctx, client, agent, core.RunConfig{
 			SampleInterval: *interval,
 			OnSample: func(s transfer.Sample, next transfer.Setting) {
 				fmt.Printf("sample: %s → %.1f Mbps; next %s\n",
 					s.Setting, s.Throughput/1e6, next)
 			},
 		})
-		if err != nil {
+		if errors.Is(err, context.Canceled) {
+			interrupted = true
+		} else if err != nil {
 			fail("%v", err)
 		}
-	} else if err := client.Wait(); err != nil {
-		fail("%v", err)
+	} else {
+		waitErr := make(chan error, 1)
+		go func() { waitErr <- client.Wait() }()
+		select {
+		case err := <-waitErr:
+			if err != nil {
+				fail("%v", err)
+			}
+		case <-ctx.Done():
+			interrupted = true
+		}
 	}
+	client.Close() // drains the connection pool either way
 
 	elapsed := time.Since(start)
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "falconftp: interrupted, transfer stopped cleanly")
+	}
 	fmt.Printf("sent %d files, %.1f MiB in %v (%.1f Mbps mean)\n",
 		len(files), float64(client.BytesSent())/float64(dataset.MiB), elapsed.Round(time.Millisecond),
 		float64(client.BytesSent())*8/elapsed.Seconds()/1e6)
+	if interrupted {
+		os.Exit(130)
+	}
 }

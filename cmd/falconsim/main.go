@@ -25,6 +25,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 	"repro/internal/transfer"
@@ -93,6 +94,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	maxN := flag.Int("maxcc", 64, "search-space upper bound for concurrency")
 	chart := flag.Bool("chart", true, "print ASCII charts")
+	events := flag.Bool("events", false, "print the typed session event stream as it happens")
 	flag.Parse()
 
 	cfg, ok := pickTestbed(*tbName)
@@ -111,6 +113,21 @@ func main() {
 	sched.SetLogf(func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
 	})
+	if *events {
+		sched.SetEventSink(func(e session.Event) {
+			switch e.Kind {
+			case session.Sample:
+				fmt.Printf("event t=%7.2f %-8s %-9s %.3f Gbps loss=%.4f\n",
+					e.Time, e.Session, e.Kind, e.Sample.Throughput/1e9, e.Sample.Loss)
+			case session.Decision, session.Apply:
+				fmt.Printf("event t=%7.2f %-8s %-9s %s\n", e.Time, e.Session, e.Kind, e.Setting)
+			case session.Error:
+				fmt.Printf("event t=%7.2f %-8s %-9s %v\n", e.Time, e.Session, e.Kind, e.Err)
+			default:
+				fmt.Printf("event t=%7.2f %-8s %-9s\n", e.Time, e.Session, e.Kind)
+			}
+		})
+	}
 	for i := 0; i < *agents; i++ {
 		ctrl, initial, err := makeController(*algo, *maxN, *seed+int64(i))
 		if err != nil {

@@ -7,7 +7,12 @@
 //	curl -X POST localhost:8080/api/scenarios \
 //	     -d '{"testbed":"hpclab","algorithm":"gd","agents":3}'
 //	curl localhost:8080/api/scenarios/s0001
+//	curl localhost:8080/api/scenarios/s0001/progress   # live, while running
 //	open localhost:8080/api/scenarios/s0001/throughput.svg
+//
+// The progress endpoint is fed by the scheduler's session event
+// stream, so per-agent epoch counts and last-sample metrics are
+// available while a scenario is still in flight.
 package main
 
 import (

@@ -13,7 +13,11 @@
 // independent sweep points within an experiment) execute across that
 // many goroutines, with per-trial seeds fixed by the trial index and
 // results assembled in paper order, so the output is byte-identical
-// for every -parallel value, including 1 (serial).
+// for every -parallel value, including 1 (serial). Each simulated
+// transfer inside an experiment is one session loop (internal/session)
+// ticked on the testbed's virtual clock — the same loop that drives
+// real FTP transfers on the wall clock — so figures reproduce the
+// control flow of a live deployment, not a simulation-only variant.
 package main
 
 import (

@@ -161,9 +161,11 @@ func (a *Agent) Decide(s transfer.Sample) transfer.Setting {
 	return transfer.Setting{Concurrency: next, Parallelism: a.parallelism, Pipelining: a.pipelining}
 }
 
-// History returns the recorded decisions (shared slice; treat as
-// read-only).
-func (a *Agent) History() []Decision { return a.history }
+// History returns a copy of the recorded decisions, so callers can
+// hold or mutate the slice without aliasing the agent's live log.
+func (a *Agent) History() []Decision {
+	return append([]Decision(nil), a.history...)
+}
 
 // MultiAgent tunes concurrency, parallelism, and pipelining together
 // (§4.4, "Falcon_MP") using the Eq 7 utility and a conjugate-gradient

@@ -74,6 +74,12 @@ func TestAgentRecordsHistory(t *testing.T) {
 	if h[0].Next < 1 || h[0].Next > 16 {
 		t.Fatalf("recorded next %d out of bounds", h[0].Next)
 	}
+	// History hands out a copy: callers must not be able to corrupt the
+	// agent's record, and later decisions must not mutate under them.
+	h[0].Utility = -1
+	if a.History()[0].Utility == -1 {
+		t.Fatal("History aliases the agent's internal slice")
+	}
 }
 
 func TestNewMultiAgentValidation(t *testing.T) {

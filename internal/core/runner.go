@@ -2,39 +2,39 @@ package core
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"time"
 
+	"repro/internal/session"
 	"repro/internal/transfer"
 )
 
 // Decider is the decision interface shared by Agent and MultiAgent
-// (and by the baselines package): one setting per sample transfer.
-type Decider interface {
-	Decide(s transfer.Sample) transfer.Setting
-}
+// (and by the baselines package): one setting per sample transfer. It
+// is an alias of session.Decider — the simulated scheduler and the
+// real-time runner accept exactly the same controllers.
+type Decider = session.Decider
 
 // Environment is a live transfer whose knobs Falcon can change and
 // whose performance it can measure. The real-FTP adapter (package ftp)
-// and any future GridFTP/bbcp integration implement it.
-type Environment interface {
-	// Apply reconfigures the running transfer.
-	Apply(s transfer.Setting) error
-	// Measure blocks for roughly d while the transfer proceeds, then
-	// returns the observed sample. The transfer continues throughout —
-	// Falcon's monitoring runs beside the data movement, never pausing
-	// it (§3.2).
-	Measure(d time.Duration) (transfer.Sample, error)
-	// Done reports whether the transfer has completed.
-	Done() bool
-}
+// implements it on the wall clock; testbed.SimEnvironment implements
+// it on simulated time.
+type Environment = session.Environment
 
 // RunConfig parameterises Run.
 type RunConfig struct {
 	// SampleInterval is the duration of each sample transfer. Values
 	// ≤ 0 default to 3 s (the paper's LAN setting).
 	SampleInterval time.Duration
+	// Warmup, when positive, discards that long a measurement after
+	// every setting change before the next sample accumulates —
+	// the wall-clock counterpart of the scheduler's warm-up window.
+	Warmup time.Duration
+	// ID names the session in emitted events. Empty defaults to
+	// "session".
+	ID string
+	// Events, when non-nil, receives the session's typed event stream
+	// (join, sample, decision, apply, finish, error).
+	Events session.Sink
 	// OnSample, when non-nil, observes every (sample, next setting)
 	// pair — the hook experiments and CLIs use for live reporting.
 	OnSample func(s transfer.Sample, next transfer.Setting)
@@ -44,35 +44,17 @@ type RunConfig struct {
 // completes or the context is cancelled. It returns nil on completion,
 // the context error on cancellation, and any Apply/Measure failure
 // otherwise.
+//
+// Run is a thin wall-clock instantiation of the session loop: the
+// epoch cadence, decision flow, and event stream are the same code the
+// simulated testbeds execute (testbed.Scheduler orchestrates the
+// identical session.Session over the engine's virtual clock).
 func Run(ctx context.Context, env Environment, d Decider, cfg RunConfig) error {
-	if env == nil {
-		return errors.New("core: nil environment")
-	}
-	if d == nil {
-		return errors.New("core: nil decider")
-	}
-	interval := cfg.SampleInterval
-	if interval <= 0 {
-		interval = 3 * time.Second
-	}
-	for !env.Done() {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		sample, err := env.Measure(interval)
-		if err != nil {
-			return fmt.Errorf("core: measure: %w", err)
-		}
-		if env.Done() {
-			return nil
-		}
-		next := d.Decide(sample)
-		if cfg.OnSample != nil {
-			cfg.OnSample(sample, next)
-		}
-		if err := env.Apply(next); err != nil {
-			return fmt.Errorf("core: apply %v: %w", next, err)
-		}
-	}
-	return nil
+	return session.Run(ctx, env, d, session.Config{
+		ID:       cfg.ID,
+		Interval: cfg.SampleInterval.Seconds(),
+		Warmup:   cfg.Warmup.Seconds(),
+		Events:   cfg.Events,
+		OnSample: cfg.OnSample,
+	})
 }

@@ -136,3 +136,55 @@ func TestRunDefaultsSampleInterval(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// bumpDecider raises concurrency by one each epoch — deterministic, so
+// ordering tests can predict every decision.
+type bumpDecider struct{}
+
+func (bumpDecider) Decide(s transfer.Sample) transfer.Setting {
+	n := s.Setting
+	n.Concurrency++
+	return n
+}
+
+func TestRunOnSampleOrdering(t *testing.T) {
+	env := &fakeEnv{
+		samples:   []transfer.Sample{sampleAt(2, 1e9), sampleAt(3, 1.5e9), sampleAt(4, 2e9)},
+		doneAfter: 4,
+	}
+	var seen []int
+	var nexts []transfer.Setting
+	err := Run(context.Background(), env, bumpDecider{}, RunConfig{
+		SampleInterval: time.Millisecond,
+		OnSample: func(s transfer.Sample, next transfer.Setting) {
+			seen = append(seen, s.Setting.Concurrency)
+			// The hook runs before the decision is applied: the apply
+			// log must still be one behind.
+			if len(env.applied) != len(seen)-1 {
+				t.Errorf("OnSample %d fired after apply (%d applied)", len(seen), len(env.applied))
+			}
+			nexts = append(nexts, next)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 3, 4}
+	if len(seen) != len(want) {
+		t.Fatalf("OnSample saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("OnSample order %v, want %v", seen, want)
+		}
+	}
+	// Every next handed to the hook is exactly what was applied, in order.
+	if len(env.applied) != len(nexts) {
+		t.Fatalf("%d applies for %d hooks", len(env.applied), len(nexts))
+	}
+	for i := range nexts {
+		if env.applied[i] != nexts[i] {
+			t.Fatalf("apply %d = %v, hook saw %v", i, env.applied[i], nexts[i])
+		}
+	}
+}

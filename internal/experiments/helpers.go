@@ -27,7 +27,9 @@ func mustTask(id string, ds *dataset.Dataset, s transfer.Setting) *transfer.Task
 }
 
 // scenario runs a set of participants on a testbed and returns the
-// timeline.
+// timeline. Each participant runs as one session loop on the engine's
+// virtual clock; the timeline is recorded by consuming the sessions'
+// event streams (testbed.Timeline.Sink).
 func scenario(cfg testbed.Config, seed int64, horizon float64, parts ...testbed.Participant) (*testbed.Timeline, error) {
 	eng, err := testbed.NewEngine(cfg, seed)
 	if err != nil {

@@ -61,6 +61,10 @@ type Client struct {
 	doneMu    sync.Mutex
 	doneFiles map[int64]bool
 
+	winMu    sync.Mutex
+	winBytes int64     // bytesSent at the last BeginWindow
+	winStart time.Time // wall time of the last BeginWindow
+
 	started  bool
 	done     chan struct{}
 	doneOnce sync.Once
@@ -125,6 +129,7 @@ func (c *Client) Start(initial transfer.Setting) error {
 
 	c.done = make(chan struct{})
 	c.stop = make(chan struct{})
+	c.BeginWindow()
 	c.announce = make(chan struct{}, 1)
 	c.sem = newResizableSemaphore(initial.Concurrency)
 	c.pool = newConnPool(c.Addr, c.MaxWorkers)
@@ -193,6 +198,43 @@ func (c *Client) Measure(d time.Duration) (transfer.Sample, error) {
 		Loss:       0,
 		Time:       float64(time.Now().UnixNano()) / 1e9,
 	}, c.Err()
+}
+
+// BeginWindow implements session.WindowEnv: it restarts measurement
+// accumulation, so the next TakeSample excludes everything sent before
+// this instant (e.g. a post-Apply warm-up transient).
+func (c *Client) BeginWindow() {
+	c.winMu.Lock()
+	c.winBytes = c.bytesSent.Load()
+	c.winStart = time.Now()
+	c.winMu.Unlock()
+}
+
+// TakeSample implements session.WindowEnv: it closes the measurement
+// window opened by the last BeginWindow (or Start, implicitly) and
+// returns the observed sample, then begins a new window. Unlike
+// Measure it never blocks — drivers own the cadence.
+func (c *Client) TakeSample() (transfer.Sample, error) {
+	if c.done == nil {
+		return transfer.Sample{}, errors.New("ftp: TakeSample before Start")
+	}
+	c.winMu.Lock()
+	start, startBytes := c.winStart, c.winBytes
+	c.winMu.Unlock()
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return transfer.Sample{}, errors.New("ftp: empty measurement window")
+	}
+	bytes := c.bytesSent.Load() - startBytes
+	s := transfer.Sample{
+		Setting:    c.Setting(),
+		Duration:   elapsed,
+		Throughput: float64(bytes) * 8 / elapsed,
+		Loss:       0,
+		Time:       float64(time.Now().UnixNano()) / 1e9,
+	}
+	c.BeginWindow()
+	return s, c.Err()
 }
 
 // Done implements core.Environment.

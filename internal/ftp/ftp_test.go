@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/session"
+	"repro/internal/testbed"
 	"repro/internal/transfer"
 )
 
@@ -381,5 +383,100 @@ func TestDirSourceUnregistered(t *testing.T) {
 	s := &DirSource{}
 	if err := s.ReadAt(0, 0, make([]byte, 1)); err == nil {
 		t.Fatal("unregistered file read did not error")
+	}
+}
+
+// steadyDecider keeps the observed setting — a fixed strategy that
+// still exercises the full decide/apply flow each epoch.
+type steadyDecider struct{}
+
+func (steadyDecider) Decide(s transfer.Sample) transfer.Setting { return s.Setting }
+
+// TestSimAndRealShareSessionLoop proves the simulator and the real FTP
+// stack are driven by the same session loop: core.Run over a
+// testbed.SimEnvironment and over a loopback ftp.Client emit the same
+// canonical event stream — Join, then one (Sample, Decision, Apply)
+// triple per epoch, then Finish — differing only in epoch count.
+func TestSimAndRealShareSessionLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive loopback test")
+	}
+	collect := func(env core.Environment, id string, interval time.Duration) []session.Kind {
+		t.Helper()
+		var mu sync.Mutex
+		var ks []session.Kind
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		err := core.Run(ctx, env, steadyDecider{}, core.RunConfig{
+			ID:             id,
+			SampleInterval: interval,
+			Events: func(e session.Event) {
+				mu.Lock()
+				ks = append(ks, e.Kind)
+				mu.Unlock()
+			},
+		})
+		if err != nil && ctx.Err() == nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		return ks
+	}
+	// epochs validates the canonical grammar and returns the epoch count.
+	epochs := func(id string, ks []session.Kind) int {
+		t.Helper()
+		if len(ks) < 2 || ks[0] != session.Join || ks[len(ks)-1] != session.Finish {
+			t.Fatalf("%s: stream %v lacks Join…Finish framing", id, ks)
+		}
+		mid := ks[1 : len(ks)-1]
+		if len(mid)%3 != 0 {
+			t.Fatalf("%s: %d mid-stream events not in epoch triples: %v", id, len(mid), ks)
+		}
+		for i := 0; i < len(mid); i += 3 {
+			if mid[i] != session.Sample || mid[i+1] != session.Decision || mid[i+2] != session.Apply {
+				t.Fatalf("%s: epoch %d is %v, want [sample decision apply]", id, i/3, mid[i:i+3])
+			}
+		}
+		return len(mid) / 3
+	}
+
+	// Simulated path: a draining task on the engine's virtual clock.
+	eng, err := testbed.NewEngine(testbed.Emulab(10e6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := transfer.Setting{Concurrency: 4, Parallelism: 1, Pipelining: 1}
+	task, err := transfer.NewTask("sim", dataset.Uniform("sim", 4, 5_000_000), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simEnv, err := testbed.NewSimEnvironment(eng, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simKinds := collect(simEnv, "sim", time.Second)
+
+	// Real path: a throttled loopback FTP transfer on the wall clock.
+	srv := startServer(t, &DiscardSink{}, 0)
+	c := &Client{
+		Addr: srv.Addr(), Source: PatternSource{},
+		Files:       files(32, 256*1024),
+		PerProcRate: 40e6,
+	}
+	if err := c.Start(set); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	realKinds := collect(c, "real", 200*time.Millisecond)
+
+	nSim, nReal := epochs("sim", simKinds), epochs("real", realKinds)
+	if nSim < 2 || nReal < 2 {
+		t.Fatalf("too few epochs to compare: sim=%d real=%d", nSim, nReal)
+	}
+	// Identical per-event sequence up to the shorter run's length.
+	n := 1 + 3*min(nSim, nReal)
+	for i := 0; i < n; i++ {
+		if simKinds[i] != realKinds[i] {
+			t.Fatalf("event %d differs: sim %v, real %v", i, simKinds[i], realKinds[i])
+		}
 	}
 }

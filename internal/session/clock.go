@@ -1,0 +1,61 @@
+package session
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is the time base a session runtime runs on: seconds since the
+// run began. The simulated testbeds expose their virtual engine time
+// through it; real transfers use a WallClock. Sessions themselves never
+// read a clock directly — drivers stamp every Tick/Observe call — so
+// the same decision flow runs unchanged on either time base.
+type Clock interface {
+	// Now returns the current time in seconds.
+	Now() float64
+}
+
+// ClockSource is implemented by environments that carry their own time
+// base (e.g. testbed.SimEnvironment, whose time is the engine's
+// simulated clock). Run uses it instead of a wall clock, so event
+// timestamps line up with the environment's notion of time.
+type ClockSource interface {
+	Clock() Clock
+}
+
+// WallClock reports real elapsed time since its creation.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a wall clock anchored at the current instant.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns the seconds elapsed since the clock was created.
+func (c *WallClock) Now() float64 { return time.Since(c.start).Seconds() }
+
+// VirtualClock is a manually advanced clock for simulations and tests.
+// The zero value starts at t=0.
+type VirtualClock struct {
+	now float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *VirtualClock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by dt seconds. It panics on negative
+// dt — virtual time never runs backwards.
+func (c *VirtualClock) Advance(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("session: VirtualClock.Advance(%v) negative", dt))
+	}
+	c.now += dt
+}
+
+// Set jumps the clock to t. It panics when t is in the past.
+func (c *VirtualClock) Set(t float64) {
+	if t < c.now {
+		panic(fmt.Sprintf("session: VirtualClock.Set(%v) before now %v", t, c.now))
+	}
+	c.now = t
+}

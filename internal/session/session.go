@@ -1,0 +1,315 @@
+// Package session implements the unified Falcon control loop — the
+// paper's §3.2 cycle of sample → utility → search → apply — shared by
+// the simulated testbeds (testbed.Scheduler orchestrates N sessions
+// over the engine's virtual clock) and the real-time runner (core.Run
+// drives one session on a wall clock). One Session owns the epoch
+// cadence, warm-up discard, and decision flow for one participant, and
+// emits a typed Event stream that timelines, live status endpoints,
+// and CLI reporters consume.
+//
+// Determinism: a Session performs no time or randomness reads of its
+// own. Drivers stamp every call with the current clock value, so a
+// virtual-clock run is exactly reproducible and the simulated and real
+// paths execute identical decision logic.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/transfer"
+)
+
+// Decider chooses the next transfer setting from the sample of the
+// last decision epoch. Falcon agents, the Globus heuristic, and the
+// HARP model all satisfy this interface.
+type Decider interface {
+	Decide(s transfer.Sample) transfer.Setting
+}
+
+// Env is the minimal contract a Session drives: reconfigure the
+// transfer and report completion.
+type Env interface {
+	// Apply reconfigures the running transfer.
+	Apply(s transfer.Setting) error
+	// Done reports whether the transfer has completed.
+	Done() bool
+}
+
+// Environment is a live transfer measured by blocking sampling — the
+// wall-clock contract. Measure blocks for roughly d while the transfer
+// proceeds, then returns the observed sample; the transfer continues
+// throughout, Falcon's monitoring runs beside the data movement (§3.2).
+// The real-FTP client and testbed.SimEnvironment (on simulated time)
+// implement it.
+type Environment interface {
+	Env
+	Measure(d time.Duration) (transfer.Sample, error)
+}
+
+// WindowEnv is a live transfer measured by cooperative windows — the
+// virtual-time contract. The driver advances time externally (stepping
+// the simulation engine); BeginWindow restarts measurement accumulation
+// and TakeSample closes the window instantaneously.
+type WindowEnv interface {
+	Env
+	BeginWindow()
+	TakeSample() (transfer.Sample, error)
+}
+
+// Config parameterises one Session.
+type Config struct {
+	// ID names the session in events (usually the task ID). Empty
+	// defaults to "session".
+	ID string
+	// Interval is the decision-epoch cadence in seconds. Values ≤ 0
+	// default to 3 (the paper's LAN sample-transfer duration).
+	Interval float64
+	// Warmup is how long after a setting change the measurement window
+	// is discarded before metrics accumulate, excluding the TCP ramp-up
+	// transient (§3: performance is captured "once the sample transfer
+	// is executed for a sufficient amount of time"). Values ≤ 0 disable
+	// the discard.
+	Warmup float64
+	// Events, when non-nil, receives the session's event stream.
+	Events Sink
+	// OnSample, when non-nil, observes every (sample, next setting)
+	// pair — the hook experiments and CLIs use for live reporting.
+	OnSample func(s transfer.Sample, next transfer.Setting)
+}
+
+// Session runs the Falcon loop for one participant: it owns the epoch
+// cadence, the warm-up discard, and the decision flow, independent of
+// whether time is simulated or real. Drivers call Start once, then
+// either Tick (virtual time, window environments) or Observe (wall
+// clock, blocking environments) as time passes, and Finish/Leave when
+// the transfer ends.
+type Session struct {
+	env Env
+	win WindowEnv // non-nil when env supports cooperative windows
+	dec Decider   // nil keeps the initial setting forever
+	cfg Config
+
+	started  bool
+	finished bool
+	// nextDecision is the time of the next decision epoch.
+	nextDecision float64
+	// resetAt is a pending measurement-window restart (warm-up expiry);
+	// 0 means none pending.
+	resetAt float64
+	// epochs counts completed decision epochs.
+	epochs int
+}
+
+// New builds a session over env. A nil Decider is allowed and keeps
+// the environment's setting unchanged (the fixed-strategy baseline).
+// It returns an error for a nil environment.
+func New(env Env, dec Decider, cfg Config) (*Session, error) {
+	if env == nil {
+		return nil, errors.New("session: nil environment")
+	}
+	if cfg.ID == "" {
+		cfg.ID = "session"
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 3
+	}
+	win, _ := env.(WindowEnv)
+	return &Session{env: env, win: win, dec: dec, cfg: cfg}, nil
+}
+
+// ID returns the session's event identifier.
+func (s *Session) ID() string { return s.cfg.ID }
+
+// Started reports whether Start has been called.
+func (s *Session) Started() bool { return s.started }
+
+// Finished reports whether the session has ended (Finish or Leave).
+func (s *Session) Finished() bool { return s.finished }
+
+// Epochs returns the number of completed decision epochs.
+func (s *Session) Epochs() int { return s.epochs }
+
+// Start joins the session at time now: the first measurement window
+// opens (window environments), the first decision epoch is scheduled
+// one interval out, and a Join event carrying the initial setting is
+// emitted. Repeated calls are no-ops.
+func (s *Session) Start(now float64, initial transfer.Setting) {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.nextDecision = now + s.cfg.Interval
+	if s.win != nil {
+		s.win.BeginWindow()
+	}
+	s.emit(Event{Kind: Join, Time: now, Setting: initial})
+}
+
+// Tick executes the session's due actions at time now on a window
+// environment: the decision epoch (sample → decide → apply) if one is
+// due, then any pending warm-up window restart. The driver advances
+// time between ticks by stepping the simulation. A failed sample (an
+// empty window after a join race) is reported as an Error event and
+// retried at the next epoch, not the next tick. Tick returns the apply
+// error, if any.
+func (s *Session) Tick(now float64) error {
+	if !s.started || s.finished {
+		return nil
+	}
+	if s.win == nil {
+		return errors.New("session: Tick requires a window environment")
+	}
+	if now >= s.nextDecision && !s.env.Done() {
+		sample, err := s.win.TakeSample()
+		// Advance the epoch before handling the outcome, so a failed
+		// sample waits a full interval instead of busy-retrying.
+		s.nextDecision = now + s.cfg.Interval
+		if err != nil {
+			s.emit(Event{Kind: Error, Time: now, Err: err})
+		} else if err := s.Observe(now, sample); err != nil {
+			return err
+		}
+	}
+	if s.resetAt > 0 && now >= s.resetAt {
+		s.win.BeginWindow()
+		s.resetAt = 0
+	}
+	return nil
+}
+
+// Observe runs the decision flow for one completed sample at time now:
+// emit Sample, decide, emit Decision, apply, emit Apply, and schedule
+// the warm-up discard. It is the shared heart of the virtual-clock
+// (Tick) and wall-clock (Run) paths. The returned error is the apply
+// failure, if any.
+func (s *Session) Observe(now float64, sample transfer.Sample) error {
+	s.epochs++
+	s.emit(Event{Kind: Sample, Time: now, Sample: sample})
+	next := sample.Setting
+	if s.dec != nil {
+		next = s.dec.Decide(sample)
+	}
+	s.emit(Event{Kind: Decision, Time: now, Sample: sample, Setting: next})
+	if s.cfg.OnSample != nil {
+		s.cfg.OnSample(sample, next)
+	}
+	if s.dec != nil {
+		if err := s.env.Apply(next); err != nil {
+			err = fmt.Errorf("session: apply %v: %w", next, err)
+			s.emit(Event{Kind: Error, Time: now, Err: err})
+			return err
+		}
+		s.emit(Event{Kind: Apply, Time: now, Setting: next})
+	}
+	if s.cfg.Warmup > 0 {
+		s.resetAt = now + s.cfg.Warmup
+	}
+	return nil
+}
+
+// Finish marks the transfer complete at time now and emits Finish.
+// Repeated calls are no-ops.
+func (s *Session) Finish(now float64) {
+	if !s.started || s.finished {
+		return
+	}
+	s.finished = true
+	s.emit(Event{Kind: Finish, Time: now})
+}
+
+// Leave removes the session before completion (a departing competitor)
+// and emits Leave. Repeated calls are no-ops.
+func (s *Session) Leave(now float64) {
+	if !s.started || s.finished {
+		return
+	}
+	s.finished = true
+	s.emit(Event{Kind: Leave, Time: now})
+}
+
+// Fail emits an Error event and ends the session. It is used by
+// drivers when the environment itself fails.
+func (s *Session) Fail(now float64, err error) {
+	if !s.started || s.finished {
+		return
+	}
+	s.emit(Event{Kind: Error, Time: now, Err: err})
+	s.finished = true
+}
+
+func (s *Session) emit(e Event) {
+	if s.cfg.Events == nil {
+		return
+	}
+	e.Session = s.cfg.ID
+	s.cfg.Events(e)
+}
+
+// Run drives a Decider against a blocking Environment until the
+// transfer completes or the context is cancelled — the wall-clock
+// instantiation of the session loop, used by core.Run and thereby the
+// falconftp CLI. The clock is the environment's own (ClockSource) when
+// it has one, or a wall clock started at the call.
+//
+// Run returns nil on completion, the context error on cancellation,
+// and any Measure/Apply failure otherwise. Unlike the orchestrated
+// virtual path, a nil decider is rejected: a fixed-setting real
+// transfer needs no session loop at all.
+func Run(ctx context.Context, env Environment, dec Decider, cfg Config) error {
+	if env == nil {
+		return errors.New("session: nil environment")
+	}
+	if dec == nil {
+		return errors.New("session: nil decider")
+	}
+	sess, err := New(env, dec, cfg)
+	if err != nil {
+		return err
+	}
+	var clock Clock
+	if cs, ok := env.(ClockSource); ok {
+		clock = cs.Clock()
+	} else {
+		clock = NewWallClock()
+	}
+	var initial transfer.Setting
+	if cur, ok := env.(interface{ Setting() transfer.Setting }); ok {
+		initial = cur.Setting()
+	}
+	sess.Start(clock.Now(), initial)
+	interval := time.Duration(sess.cfg.Interval * float64(time.Second))
+	warmup := time.Duration(sess.cfg.Warmup * float64(time.Second))
+	for !env.Done() {
+		if err := ctx.Err(); err != nil {
+			sess.Fail(clock.Now(), err)
+			return err
+		}
+		if warmup > 0 {
+			// Wall-clock warm-up discard: let the post-change transient
+			// pass unmeasured, as the virtual path does via BeginWindow.
+			if _, err := env.Measure(warmup); err != nil {
+				sess.Fail(clock.Now(), err)
+				return fmt.Errorf("session: measure: %w", err)
+			}
+			if env.Done() {
+				break
+			}
+		}
+		sample, err := env.Measure(interval)
+		if err != nil {
+			sess.Fail(clock.Now(), err)
+			return fmt.Errorf("session: measure: %w", err)
+		}
+		if env.Done() {
+			break
+		}
+		if err := sess.Observe(clock.Now(), sample); err != nil {
+			return err
+		}
+	}
+	sess.Finish(clock.Now())
+	return nil
+}

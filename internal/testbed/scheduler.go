@@ -5,16 +5,17 @@ import (
 	"math"
 
 	"repro/internal/parallel"
+	"repro/internal/session"
 	"repro/internal/trace"
 	"repro/internal/transfer"
 )
 
 // Controller decides the next transfer setting from the sample of the
 // last decision epoch. Falcon agents, the Globus heuristic, and the
-// HARP model all satisfy this interface.
-type Controller interface {
-	Decide(s transfer.Sample) transfer.Setting
-}
+// HARP model all satisfy this interface. It is an alias of
+// session.Decider: any controller that drives the simulator also
+// drives a real transfer through core.Run, and vice versa.
+type Controller = session.Decider
 
 // FixedController always returns the same setting (the Globus-style
 // "fixed strategy" of §2, and the knob-sweep experiments).
@@ -65,13 +66,40 @@ func (tl *Timeline) MeanThroughputGbps(id string, t0, t1 float64) float64 {
 	return s.Between(t0, t1).Mean()
 }
 
-// Scheduler drives an Engine, delivering samples to controllers at
-// their decision epochs and recording timelines.
+// Sink returns an event consumer that records session events into the
+// timeline: Sample events append to the loss series, Decision events
+// to the concurrency series, and Finish events mark completion times.
+// The trace timelines are thereby just one consumer of the session
+// event stream, alongside live status endpoints and CLI reporters.
+func (tl *Timeline) Sink() session.Sink {
+	return func(e session.Event) {
+		switch e.Kind {
+		case session.Sample:
+			tl.Loss.Append(e.Session, e.Time, e.Sample.Loss)
+		case session.Decision:
+			tl.Concurrency.Append(e.Session, e.Time, float64(e.Setting.Concurrency))
+		case session.Finish:
+			if tl.Finished == nil {
+				tl.Finished = make(map[string]float64)
+			}
+			if _, seen := tl.Finished[e.Session]; !seen {
+				tl.Finished[e.Session] = e.Time
+			}
+		}
+	}
+}
+
+// Scheduler orchestrates N session loops over an Engine's shared
+// virtual clock: it admits participants at their join times, ticks
+// every live session each simulation step (the sessions own epoch
+// cadence, warm-up, and decision flow), and records timelines by
+// consuming the sessions' event streams.
 type Scheduler struct {
 	eng     *Engine
 	parts   []*schedEntry
 	record  float64 // recording interval, seconds
 	verbose func(format string, args ...any)
+	events  session.Sink // optional external event consumer
 
 	// Warmup is how long after a setting change the measurement window
 	// is discarded before metrics accumulate, excluding the TCP
@@ -82,11 +110,9 @@ type Scheduler struct {
 }
 
 type schedEntry struct {
-	p            Participant
-	joined, left bool
-	nextDecision float64
-	interval     float64
-	resetAt      float64 // pending measurement-window reset (warm-up)
+	p        Participant
+	interval float64
+	sess     *session.Session // created at join time
 }
 
 // NewScheduler wraps an engine. recordInterval controls the granularity
@@ -100,6 +126,11 @@ func NewScheduler(eng *Engine, recordInterval float64) *Scheduler {
 
 // SetLogf installs an optional progress logger.
 func (s *Scheduler) SetLogf(f func(format string, args ...any)) { s.verbose = f }
+
+// SetEventSink installs an external consumer for every session's event
+// stream — live status endpoints, metrics, and (future) fault
+// injectors hook in here. It must be called before Run.
+func (s *Scheduler) SetEventSink(sink session.Sink) { s.events = sink }
 
 // Add registers a participant. It returns an error for nil tasks,
 // duplicate IDs, or negative schedule times.
@@ -127,14 +158,18 @@ func (s *Scheduler) Add(p Participant) error {
 }
 
 // Run advances the simulation until the given time (seconds) with the
-// given tick, driving joins, leaves, decision epochs, and recording.
-// It returns the recorded timeline. Run panics on non-positive tick or
-// horizon — driver bugs.
+// given tick, orchestrating one session loop per participant over the
+// shared virtual clock: joins and leaves at their scheduled times, a
+// Tick per live session per step (epoch cadence, warm-up, and decision
+// flow are session-owned), completion sweeps, and periodic throughput
+// recording. It returns the timeline recorded from the sessions' event
+// streams. Run panics on non-positive tick or horizon — driver bugs.
 func (s *Scheduler) Run(until, tick float64) *Timeline {
 	if tick <= 0 || until <= 0 {
 		panic(fmt.Sprintf("testbed: Run(until=%v, tick=%v) invalid", until, tick))
 	}
 	tl := &Timeline{Finished: make(map[string]float64)}
+	sink := session.MultiSink(tl.Sink(), s.logSink(), s.events)
 	nextRecord := 0.0
 
 	for s.eng.Now() < until {
@@ -143,52 +178,36 @@ func (s *Scheduler) Run(until, tick float64) *Timeline {
 		// Joins and leaves.
 		for _, e := range s.parts {
 			id := e.p.Task.ID()
-			if !e.joined && now >= e.p.JoinAt {
-				if err := s.eng.AddTask(e.p.Task); err != nil {
+			if e.sess == nil && now >= e.p.JoinAt {
+				env, err := NewSimEnvironment(s.eng, e.p.Task)
+				if err != nil {
 					panic(fmt.Sprintf("testbed: join %q: %v", id, err))
 				}
-				e.joined = true
-				e.nextDecision = now + e.interval
-				s.eng.BeginWindow(id)
-				s.logf("t=%.0fs: %s joins (%s)", now, id, e.p.Task.Setting())
+				sess, err := session.New(env, e.p.Controller, session.Config{
+					ID:       id,
+					Interval: e.interval,
+					Warmup:   s.Warmup,
+					Events:   sink,
+				})
+				if err != nil {
+					panic(fmt.Sprintf("testbed: session %q: %v", id, err))
+				}
+				e.sess = sess
+				sess.Start(now, e.p.Task.Setting())
 			}
-			if e.joined && !e.left && e.p.LeaveAt > 0 && now >= e.p.LeaveAt {
+			if e.sess != nil && !e.sess.Finished() && e.p.LeaveAt > 0 && now >= e.p.LeaveAt {
 				s.eng.RemoveTask(id)
-				e.left = true
-				s.logf("t=%.0fs: %s leaves", now, id)
+				e.sess.Leave(now)
 			}
 		}
 
-		// Decision epochs.
+		// Decision epochs and warm-up expiry, owned by each session.
 		for _, e := range s.parts {
-			id := e.p.Task.ID()
-			if !e.joined || e.left || e.p.Task.Done() || now < e.nextDecision {
+			if e.sess == nil || e.sess.Finished() {
 				continue
 			}
-			sample, err := s.eng.TakeSample(id)
-			if err != nil {
-				continue // empty window after a join race; retry next epoch
-			}
-			tl.Loss.Get(id).Append(now, sample.Loss)
-			if e.p.Controller != nil {
-				next := e.p.Controller.Decide(sample)
-				if err := e.p.Task.SetSetting(next); err != nil {
-					panic(fmt.Sprintf("testbed: controller for %q produced invalid setting: %v", id, err))
-				}
-			}
-			tl.Concurrency.Get(id).Append(now, float64(e.p.Task.Setting().Concurrency))
-			e.nextDecision = now + e.interval
-			if s.Warmup > 0 {
-				e.resetAt = now + s.Warmup
-			}
-		}
-
-		// Warm-up expiry: restart measurement windows so samples
-		// exclude the post-change ramp transient.
-		for _, e := range s.parts {
-			if e.resetAt > 0 && now >= e.resetAt && e.joined && !e.left {
-				s.eng.BeginWindow(e.p.Task.ID())
-				e.resetAt = 0
+			if err := e.sess.Tick(now); err != nil {
+				panic(fmt.Sprintf("testbed: controller for %q produced invalid setting: %v", e.p.Task.ID(), err))
 			}
 		}
 
@@ -196,23 +215,18 @@ func (s *Scheduler) Run(until, tick float64) *Timeline {
 
 		// Completion bookkeeping.
 		for _, e := range s.parts {
-			id := e.p.Task.ID()
-			if e.joined && !e.left && e.p.Task.Done() {
-				if _, seen := tl.Finished[id]; !seen {
-					tl.Finished[id] = s.eng.Now()
-					s.eng.RemoveTask(id)
-					e.left = true
-					s.logf("t=%.0fs: %s finished", s.eng.Now(), id)
-				}
+			if e.sess != nil && !e.sess.Finished() && e.p.Task.Done() {
+				s.eng.RemoveTask(e.p.Task.ID())
+				e.sess.Finish(s.eng.Now())
 			}
 		}
 
 		// Recording.
 		if s.eng.Now() >= nextRecord {
 			for _, e := range s.parts {
-				if e.joined && !e.left {
+				if e.sess != nil && !e.sess.Finished() {
 					id := e.p.Task.ID()
-					tl.Throughput.Get(id).Append(s.eng.Now(), s.eng.CurrentRate(id)/1e9)
+					tl.Throughput.Append(id, s.eng.Now(), s.eng.CurrentRate(id)/1e9)
 				}
 			}
 			nextRecord = s.eng.Now() + s.record
@@ -221,9 +235,21 @@ func (s *Scheduler) Run(until, tick float64) *Timeline {
 	return tl
 }
 
-func (s *Scheduler) logf(format string, args ...any) {
-	if s.verbose != nil {
-		s.verbose(format, args...)
+// logSink translates lifecycle events into the legacy progress-log
+// lines, or nil when no logger is installed.
+func (s *Scheduler) logSink() session.Sink {
+	if s.verbose == nil {
+		return nil
+	}
+	return func(e session.Event) {
+		switch e.Kind {
+		case session.Join:
+			s.verbose("t=%.0fs: %s joins (%s)", e.Time, e.Session, e.Setting)
+		case session.Leave:
+			s.verbose("t=%.0fs: %s leaves", e.Time, e.Session)
+		case session.Finish:
+			s.verbose("t=%.0fs: %s finished", e.Time, e.Session)
+		}
 	}
 }
 

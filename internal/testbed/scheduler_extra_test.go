@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/session"
 	"repro/internal/transfer"
 )
 
@@ -40,6 +41,49 @@ func TestSchedulerLogf(t *testing.T) {
 	}
 	if !joined || !finished {
 		t.Fatalf("log lines missing join/finish: %v", lines)
+	}
+}
+
+// TestFailedSampleRetriesNextEpoch pins the busy-retry fix at the
+// testbed layer: when TakeSample fails at a decision epoch (here the
+// task vanished behind the session's back), the session must wait a
+// full interval before retrying instead of hammering every tick.
+func TestFailedSampleRetriesNextEpoch(t *testing.T) {
+	cfg := Emulab(10e6)
+	eng, err := NewEngine(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := bigTask("ghost", 2)
+	env, err := NewSimEnvironment(eng, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs int
+	sess, err := session.New(env, FixedController{S: task.Setting()}, session.Config{
+		ID:       "ghost",
+		Interval: 2,
+		Events: func(e session.Event) {
+			if e.Kind == session.Error {
+				errs++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Start(0, task.Setting())
+	eng.RemoveTask("ghost") // sampling now fails with "unknown task"
+	for eng.Now() < 6 {
+		if err := sess.Tick(eng.Now()); err != nil {
+			t.Fatal(err)
+		}
+		eng.Step(0.25)
+	}
+	// Epochs due at t=2 and 4 within [0,6): exactly two failed attempts
+	// across 24 ticks, one per epoch.
+	if errs != 2 {
+		t.Fatalf("failed-sample attempts = %d, want 2 (one per epoch, not per tick)", errs)
 	}
 }
 

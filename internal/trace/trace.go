@@ -131,6 +131,12 @@ func (ts *TimeSet) Get(name string) *Series {
 	return s
 }
 
+// Append adds an observation to the named series, creating it if
+// needed — the one-line form event consumers use when recording.
+func (ts *TimeSet) Append(name string, t, v float64) {
+	ts.Get(name).Append(t, v)
+}
+
 // Lookup returns the series with the given name, or nil.
 func (ts *TimeSet) Lookup(name string) *Series {
 	for _, s := range ts.Series {

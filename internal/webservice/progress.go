@@ -1,0 +1,105 @@
+package webservice
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/internal/session"
+)
+
+// AgentProgress is the live state of one session inside a running
+// scenario, maintained from the scheduler's event stream.
+type AgentProgress struct {
+	ID          string  `json:"id"`
+	Joined      bool    `json:"joined"`
+	Finished    bool    `json:"finished"`
+	Epochs      int     `json:"epochs"`
+	LastGbps    float64 `json:"last_gbps"`
+	LastLoss    float64 `json:"last_loss"`
+	Concurrency int     `json:"concurrency"`
+}
+
+// Progress is the GET /api/scenarios/{id}/progress payload.
+type Progress struct {
+	Status  string          `json:"status"`
+	SimTime float64         `json:"sim_time"`
+	Agents  []AgentProgress `json:"agents"`
+}
+
+// progressTracker is a session event consumer that folds the stream
+// into a queryable per-agent view — the live counterpart of the
+// Timeline sink, for scenarios still in flight.
+type progressTracker struct {
+	mu      sync.Mutex
+	simTime float64
+	order   []string
+	agents  map[string]*AgentProgress
+}
+
+func newProgressTracker() *progressTracker {
+	return &progressTracker{agents: make(map[string]*AgentProgress)}
+}
+
+// Sink returns the event consumer to install on the scheduler.
+func (p *progressTracker) Sink() session.Sink {
+	return func(e session.Event) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		a, ok := p.agents[e.Session]
+		if !ok {
+			a = &AgentProgress{ID: e.Session}
+			p.agents[e.Session] = a
+			p.order = append(p.order, e.Session)
+		}
+		if e.Time > p.simTime {
+			p.simTime = e.Time
+		}
+		switch e.Kind {
+		case session.Join:
+			a.Joined = true
+			a.Concurrency = e.Setting.Concurrency
+		case session.Sample:
+			a.Epochs++
+			a.LastGbps = round3(e.Sample.Throughput / 1e9)
+			a.LastLoss = round3(e.Sample.Loss)
+		case session.Decision:
+			a.Concurrency = e.Setting.Concurrency
+		case session.Finish, session.Leave:
+			a.Finished = true
+		}
+	}
+}
+
+// snapshot returns the agents in join order.
+func (p *progressTracker) snapshot() (float64, []AgentProgress) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]AgentProgress, 0, len(p.order))
+	for _, id := range p.order {
+		out = append(out, *p.agents[id])
+	}
+	return p.simTime, out
+}
+
+// handleProgress serves the live view of a scenario: its status plus
+// per-agent epoch counts and last-sample metrics, available while the
+// run is still in progress (unlike results and charts).
+func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
+	sc := s.lookup(r.PathValue("id"))
+	if sc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	status := sc.Status
+	tracker := sc.progress
+	s.mu.Unlock()
+	var simTime float64
+	var agents []AgentProgress
+	if tracker != nil {
+		simTime, agents = tracker.snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(Progress{Status: status, SimTime: simTime, Agents: agents})
+}

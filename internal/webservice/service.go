@@ -122,6 +122,7 @@ type Scenario struct {
 	JainIndex float64 `json:"jain_index,omitempty"`
 
 	timeline *testbed.Timeline
+	progress *progressTracker
 }
 
 // Service is the HTTP handler set with its scenario store.
@@ -148,6 +149,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /api/scenarios", s.handleCreate)
 	mux.HandleFunc("GET /api/scenarios", s.handleList)
 	mux.HandleFunc("GET /api/scenarios/{id}", s.handleGet)
+	mux.HandleFunc("GET /api/scenarios/{id}/progress", s.handleProgress)
 	mux.HandleFunc("GET /api/scenarios/{id}/throughput.svg", s.chartHandler("throughput"))
 	mux.HandleFunc("GET /api/scenarios/{id}/concurrency.svg", s.chartHandler("concurrency"))
 	return mux
@@ -163,8 +165,10 @@ func (s *Service) handleIndex(w http.ResponseWriter, r *http.Request) {
 <h1>Falcon transfer-optimization service</h1>
 <p>POST JSON to <code>/api/scenarios</code>, e.g.
 <pre>{"testbed":"hpclab","algorithm":"gd","agents":3}</pre>
-then GET <code>/api/scenarios/{id}</code> for results and
-<code>/api/scenarios/{id}/throughput.svg</code> for the timeline.</p>`)
+then GET <code>/api/scenarios/{id}</code> for results,
+<code>/api/scenarios/{id}/progress</code> for live per-agent status while
+it runs, and <code>/api/scenarios/{id}/throughput.svg</code> for the
+timeline.</p>`)
 }
 
 func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -180,7 +184,7 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.next++
 	id := fmt.Sprintf("s%04d", s.next)
-	sc := &Scenario{ID: id, Request: req, Status: "running"}
+	sc := &Scenario{ID: id, Request: req, Status: "running", progress: newProgressTracker()}
 	s.store[id] = sc
 	s.mu.Unlock()
 
@@ -204,6 +208,7 @@ func (s *Service) run(sc *Scenario) {
 		return
 	}
 	sched := testbed.NewScheduler(eng, 1)
+	sched.SetEventSink(sc.progress.Sink())
 	for i := 0; i < sc.Request.Agents; i++ {
 		agent, err := core.NewAgentByName(sc.Request.Algorithm, sc.Request.MaxConcurrency, sc.Request.Seed+int64(i))
 		if err != nil {

@@ -201,3 +201,46 @@ func TestIndexPage(t *testing.T) {
 		t.Fatal("index page missing title")
 	}
 }
+
+func TestProgressEndpoint(t *testing.T) {
+	_, ts := startService(t)
+	_, out := postScenario(t, ts.URL, `{"testbed":"emulab","algorithm":"gd","duration_seconds":120}`)
+	waitDone(t, ts.URL, out["id"])
+	resp, err := http.Get(ts.URL + "/api/scenarios/" + out["id"] + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var p Progress
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Status != "done" {
+		t.Fatalf("progress status = %q, want done", p.Status)
+	}
+	if len(p.Agents) != 1 {
+		t.Fatalf("agents = %+v, want 1 entry", p.Agents)
+	}
+	a := p.Agents[0]
+	// 120 simulated seconds at the default 5 s sample interval: dozens
+	// of epochs, all folded live from the session event stream.
+	if !a.Joined || a.Epochs < 10 || a.Concurrency < 1 || a.LastGbps <= 0 {
+		t.Fatalf("implausible live progress: %+v", a)
+	}
+	if p.SimTime < 100 {
+		t.Fatalf("sim_time = %v, want ≥100", p.SimTime)
+	}
+
+	// Unknown scenarios 404.
+	resp2, err := http.Get(ts.URL + "/api/scenarios/ghost/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost progress status = %d, want 404", resp2.StatusCode)
+	}
+}
