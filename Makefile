@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench reproduce verify
+.PHONY: build test race vet bench bench-raw reproduce verify
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Hot-path benchmarks with allocation counts.
+# Benchmark sweep + end-to-end reproduce timing, recorded as JSON at
+# the repo root so perf changes land with reviewable numbers.
 bench:
+	$(GO) run ./cmd/simbench -out BENCH_sim.json
+
+# Raw hot-path benchmarks with allocation counts, for interactive use.
+bench-raw:
 	$(GO) test -run xxx -bench . -benchtime 1s ./internal/netsim/ ./internal/testbed/ ./internal/bayesopt/
 
 reproduce:

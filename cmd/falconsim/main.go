@@ -6,7 +6,8 @@
 //
 //	falconsim [-testbed NAME] [-algo gd|bo|hc|globus|harp|fixed:N]
 //	          [-agents N] [-stagger SECONDS] [-duration SECONDS]
-//	          [-seed N] [-chart]
+//	          [-seed N] [-chart] [-exact]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Examples:
 //
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -95,8 +98,12 @@ func main() {
 	maxN := flag.Int("maxcc", 64, "search-space upper bound for concurrency")
 	chart := flag.Bool("chart", true, "print ASCII charts")
 	events := flag.Bool("events", false, "print the typed session event stream as it happens")
+	exact := flag.Bool("exact", false, "simulate on the exact always-tick path instead of event-horizon stepping (A/B verification; output must be byte-identical)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
+	testbed.SetDefaultExact(*exact)
 	cfg, ok := pickTestbed(*tbName)
 	if !ok {
 		fail("unknown testbed %q", *tbName)
@@ -145,7 +152,30 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("%v", err)
+		}
+	}
 	tl := sched.Run(*duration, 0.25)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("%v", err)
+		}
+		f.Close()
+	}
 
 	fmt.Printf("\n%s on %s, %d agent(s), %.0fs\n", *algo, cfg.Name, *agents, *duration)
 	fmt.Printf("%-10s %-18s %-14s\n", "agent", "mean Gbps (2nd half)", "mean cc")

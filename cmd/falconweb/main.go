@@ -22,12 +22,15 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/testbed"
 	"repro/internal/webservice"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	exact := flag.Bool("exact", false, "run scenario simulations on the exact always-tick path instead of event-horizon stepping")
 	flag.Parse()
+	testbed.SetDefaultExact(*exact)
 
 	svc := webservice.New()
 	srv := &http.Server{

@@ -26,26 +26,64 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/testbed"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so profile-flushing defers execute before the
+// process exits with a status code.
+func run() int {
 	seed := flag.Int64("seed", 1, "base random seed for all experiments")
 	workers := flag.Int("parallel", parallel.Workers(), "worker-pool width for independent experiments and trials (1 = serial)")
 	csvDir := flag.String("csv", "", "directory to write chart CSVs into")
 	svgDir := flag.String("svg", "", "directory to write SVG charts into")
 	chart := flag.Bool("chart", false, "print ASCII charts for timeline figures")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	exact := flag.Bool("exact", false, "simulate on the exact always-tick path instead of event-horizon stepping (A/B verification; output must be byte-identical)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	testbed.SetDefaultExact(*exact)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-8s %s\n", r.ID, r.Name)
 		}
-		return
+		return 0
 	}
 
 	runners := experiments.All()
@@ -55,7 +93,7 @@ func main() {
 			r, ok := experiments.ByID(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "reproduce: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			runners = append(runners, r)
 		}
@@ -67,7 +105,7 @@ func main() {
 		}
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -120,8 +158,9 @@ func main() {
 		fmt.Println()
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // writeFile creates path and streams write into it.

@@ -1,0 +1,246 @@
+// Command simbench runs the repository's simulator benchmarks and the
+// end-to-end reproduce timing, and writes the results as JSON — the
+// artifact `make bench` stores as BENCH_sim.json at the repo root so
+// performance changes are reviewable alongside the code that caused
+// them.
+//
+// Usage:
+//
+//	simbench [-out BENCH_sim.json] [-benchtime 1s] [-seed 1]
+//	         [-skip-reproduce]
+//
+// Two numbers matter: the per-benchmark ns/op and allocs/op for the
+// hot paths (engine Step, fast-path SchedulerRun vs the exact
+// always-tick SchedulerRunExact), and the wall-clock seconds of a full
+// serial `reproduce -seed N` run in both stepping modes. simbench
+// shells out to the go toolchain, so it must run from the repo root
+// (or -chdir there).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -cpus suffix stripped
+	// (e.g. "BenchmarkSchedulerRun").
+	Name string `json:"name"`
+	// Package is the Go package the benchmark lives in.
+	Package string `json:"package"`
+	// Iterations is the b.N the reported averages were taken over.
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when the benchmark reports
+	// allocations (all of ours do).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// ReproduceTiming is the wall-clock measurement of one full serial
+// reproduce run.
+type ReproduceTiming struct {
+	// Mode is "batched" (event-horizon stepping, the default) or
+	// "exact" (-exact always-tick path).
+	Mode    string  `json:"mode"`
+	Args    string  `json:"args"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Report is the BENCH_sim.json document.
+type Report struct {
+	// GeneratedAt is the RFC 3339 timestamp of the run.
+	GeneratedAt string `json:"generated_at"`
+	// GoVersion records the toolchain the numbers were taken with.
+	GoVersion  string            `json:"go_version"`
+	Benchtime  string            `json:"benchtime"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Reproduce  []ReproduceTiming `json:"reproduce,omitempty"`
+	// SpeedupExactOverBatched is exact seconds / batched seconds for
+	// the reproduce runs — the stepping layer's end-to-end win.
+	SpeedupExactOverBatched float64 `json:"speedup_exact_over_batched,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output JSON path")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime per benchmark")
+	seed := flag.Int64("seed", 1, "reproduce seed")
+	skipReproduce := flag.Bool("skip-reproduce", false, "skip the end-to-end reproduce timings")
+	flag.Parse()
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   goVersion(),
+		Benchtime:   *benchtime,
+	}
+
+	pkgs := []string{"./internal/netsim/", "./internal/testbed/", "./internal/bayesopt/"}
+	fmt.Fprintf(os.Stderr, "simbench: benchmarking %s (benchtime %s)...\n", strings.Join(pkgs, " "), *benchtime)
+	benches, err := runBenchmarks(pkgs, *benchtime)
+	if err != nil {
+		fatal("%v", err)
+	}
+	report.Benchmarks = benches
+
+	if !*skipReproduce {
+		timings, err := timeReproduce(*seed)
+		if err != nil {
+			fatal("%v", err)
+		}
+		report.Reproduce = timings
+		var batched, exact float64
+		for _, tm := range timings {
+			switch tm.Mode {
+			case "batched":
+				batched = tm.Seconds
+			case "exact":
+				exact = tm.Seconds
+			}
+		}
+		if batched > 0 {
+			report.SpeedupExactOverBatched = exact / batched
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "simbench: wrote %s (%d benchmarks)\n", *out, len(benches))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// goVersion returns `go version`'s third field (e.g. "go1.22.5").
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return "unknown"
+	}
+	fields := strings.Fields(string(out))
+	if len(fields) >= 3 {
+		return fields[2]
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// runBenchmarks executes `go test -bench . -benchmem` over pkgs and
+// parses the result lines.
+func runBenchmarks(pkgs []string, benchtime string) ([]Benchmark, error) {
+	args := append([]string{"test", "-run", "xxx", "-bench", ".", "-benchmem", "-benchtime", benchtime}, pkgs...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %v\n%s%s", err, stdout.String(), stderr.String())
+	}
+	var benches []Benchmark
+	pkg := ""
+	sc := bufio.NewScanner(&stdout)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if b, ok := parseBenchLine(line, pkg); ok {
+			benches = append(benches, b)
+		}
+	}
+	return benches, sc.Err()
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   4893   241550 ns/op   77824 B/op   146 allocs/op
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		name = name[:i]
+	}
+	iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Package: pkg, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}
+
+// timeReproduce builds cmd/reproduce once and times a full serial run
+// in both stepping modes, batched first.
+func timeReproduce(seed int64) ([]ReproduceTiming, error) {
+	dir, err := os.MkdirTemp("", "simbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "reproduce")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/reproduce").CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("build reproduce: %v\n%s", err, out)
+	}
+
+	base := []string{"-seed", strconv.FormatInt(seed, 10), "-parallel", "1"}
+	var timings []ReproduceTiming
+	for _, mode := range []struct {
+		name  string
+		extra []string
+	}{
+		{name: "batched"},
+		{name: "exact", extra: []string{"-exact"}},
+	} {
+		args := append(append([]string{}, base...), mode.extra...)
+		fmt.Fprintf(os.Stderr, "simbench: timing reproduce %s...\n", strings.Join(args, " "))
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = nil // discard: only the wall time matters here
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		start := time.Now()
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("reproduce %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+		}
+		timings = append(timings, ReproduceTiming{
+			Mode:    mode.name,
+			Args:    strings.Join(args, " "),
+			Seconds: time.Since(start).Seconds(),
+		})
+	}
+	return timings, nil
+}

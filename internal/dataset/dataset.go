@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Common size units in bytes.
@@ -32,15 +33,32 @@ type File struct {
 	Size int64
 }
 
-// Dataset is an ordered collection of files.
+// Dataset is an ordered collection of files. Datasets are treated as
+// immutable once built: the synthesizers in this package may return
+// the same *Dataset to multiple callers (and to concurrent sweep
+// workers), so callers must not modify Label or Files after
+// construction.
 type Dataset struct {
 	// Label identifies the dataset in experiment output (e.g. "small").
 	Label string
 	Files []File
+
+	// total and validated memoize TotalBytes and Validate. They are
+	// written only while a dataset is being constructed inside this
+	// package (before the pointer is published), so concurrent readers
+	// need no locking; a Dataset assembled by hand leaves them zero and
+	// pays the linear cost. Task construction runs on simulation hot
+	// paths (one task per sweep point), which is why these are worth
+	// memoizing at all.
+	total     int64
+	validated bool
 }
 
 // TotalBytes returns the sum of all file sizes.
 func (d *Dataset) TotalBytes() int64 {
+	if d.total > 0 {
+		return d.total
+	}
 	var t int64
 	for _, f := range d.Files {
 		t += f.Size
@@ -73,8 +91,13 @@ func (d *Dataset) MedianFileSize() int64 {
 }
 
 // Validate checks structural invariants: a non-empty label, and every
-// file having a unique non-empty name and positive size.
+// file having a unique non-empty name and positive size. Datasets from
+// this package's synthesizers are valid by construction and return
+// immediately.
 func (d *Dataset) Validate() error {
+	if d.validated {
+		return nil
+	}
 	if d.Label == "" {
 		return fmt.Errorf("dataset: empty label")
 	}
@@ -94,7 +117,57 @@ func (d *Dataset) Validate() error {
 	return nil
 }
 
+// seal memoizes a constructor-built dataset's total size and marks it
+// valid by construction. It must run before the dataset pointer is
+// published (shared datasets are read concurrently without locks).
+func (d *Dataset) seal() *Dataset {
+	var t int64
+	for _, f := range d.Files {
+		t += f.Size
+	}
+	d.total = t
+	d.validated = true
+	return d
+}
+
+// fileName renders "<label>-NNNNNN.dat" (six digits, zero-padded)
+// without fmt: dataset synthesis runs once per sweep point and the
+// Sprintf per file dominated reproduce profiles.
+func fileName(label string, i int) string {
+	b := make([]byte, 0, len(label)+12)
+	b = append(b, label...)
+	b = append(b, '-')
+	if i < 1000000 {
+		var digits [6]byte
+		v := i
+		for j := 5; j >= 0; j-- {
+			digits[j] = byte('0' + v%10)
+			v /= 10
+		}
+		b = append(b, digits[:]...)
+	} else {
+		b = append(b, fmt.Sprintf("%06d", i)...)
+	}
+	b = append(b, ".dat"...)
+	return string(b)
+}
+
+// uniformKey identifies one Uniform result for interning.
+type uniformKey struct {
+	label string
+	count int
+	size  int64
+}
+
+// uniformCache interns Uniform datasets: sweeps and scenario builders
+// request the same (label, count, size) collection thousands of times
+// per reproduce run, and datasets are immutable, so one copy serves
+// them all — including concurrent sweep workers.
+var uniformCache sync.Map // uniformKey -> *Dataset
+
 // Uniform returns a dataset of count files, each of the given size.
+// Results are interned: repeated calls with the same arguments return
+// the same (immutable) dataset.
 func Uniform(label string, count int, size int64) *Dataset {
 	if count <= 0 {
 		panic(fmt.Sprintf("dataset: Uniform count %d must be positive", count))
@@ -102,11 +175,17 @@ func Uniform(label string, count int, size int64) *Dataset {
 	if size <= 0 {
 		panic(fmt.Sprintf("dataset: Uniform size %d must be positive", size))
 	}
+	key := uniformKey{label, count, size}
+	if v, ok := uniformCache.Load(key); ok {
+		return v.(*Dataset)
+	}
 	d := &Dataset{Label: label, Files: make([]File, count)}
 	for i := range d.Files {
-		d.Files[i] = File{Name: fmt.Sprintf("%s-%06d.dat", label, i), Size: size}
+		d.Files[i] = File{Name: fileName(label, i), Size: size}
 	}
-	return d
+	d.seal()
+	v, _ := uniformCache.LoadOrStore(key, d)
+	return v.(*Dataset)
 }
 
 // Main returns the paper's principal evaluation dataset: 1000 × 1 GB.
@@ -129,7 +208,7 @@ func randomSized(label string, rng *rand.Rand, count int, minSize, maxSize, tota
 		if size > maxSize {
 			size = maxSize
 		}
-		d.Files[i] = File{Name: fmt.Sprintf("%s-%06d.dat", label, i), Size: size}
+		d.Files[i] = File{Name: fileName(label, i), Size: size}
 		sum += size
 	}
 	// Rescale to hit the requested total while respecting bounds.
@@ -146,46 +225,74 @@ func randomSized(label string, rng *rand.Rand, count int, minSize, maxSize, tota
 		d.Files[i].Size = s
 		rescaled += s
 	}
-	return d
+	return d.seal()
+}
+
+// seededKey identifies one seeded synthesizer result for interning.
+type seededKey struct {
+	kind string
+	seed int64
+}
+
+// seededCache interns the seeded synthesizers' results: generation is
+// deterministic per seed and the outputs are immutable, so trials that
+// share a seed share the dataset instead of regenerating tens of
+// thousands of files.
+var seededCache sync.Map // seededKey -> *Dataset
+
+func internSeeded(kind string, seed int64, build func() *Dataset) *Dataset {
+	key := seededKey{kind, seed}
+	if v, ok := seededCache.Load(key); ok {
+		return v.(*Dataset)
+	}
+	v, _ := seededCache.LoadOrStore(key, build())
+	return v.(*Dataset)
 }
 
 // Small returns the §4.4 "small" dataset: files 1 KiB – 10 MiB,
 // ~120 GiB total. The seed makes generation deterministic.
 func Small(seed int64) *Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	// 120 GiB of files averaging ~2.4 MiB each → ~50k files. That is
-	// representative (the paper stresses "lots of small files") while
-	// staying cheap to simulate.
-	return randomSized("small", rng, 50000, 1*KiB, 10*MiB, 120*GiB)
+	return internSeeded("small", seed, func() *Dataset {
+		rng := rand.New(rand.NewSource(seed))
+		// 120 GiB of files averaging ~2.4 MiB each → ~50k files. That is
+		// representative (the paper stresses "lots of small files") while
+		// staying cheap to simulate.
+		return randomSized("small", rng, 50000, 1*KiB, 10*MiB, 120*GiB)
+	})
 }
 
 // Large returns the §4.4 "large" dataset: files 100 MiB – 10 GiB,
 // ~1 TiB total.
 func Large(seed int64) *Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	return randomSized("large", rng, 700, 100*MiB, 10*GiB, 1*TiB)
+	return internSeeded("large", seed, func() *Dataset {
+		rng := rand.New(rand.NewSource(seed))
+		return randomSized("large", rng, 700, 100*MiB, 10*GiB, 1*TiB)
+	})
 }
 
 // Mixed returns the §4.4 "mixed" dataset: the union of Small and Large
 // (~1.2 TiB total).
 func Mixed(seed int64) *Dataset {
-	s := Small(seed)
-	l := Large(seed + 1)
-	d := &Dataset{Label: "mixed"}
-	d.Files = append(d.Files, s.Files...)
-	for _, f := range l.Files {
-		d.Files = append(d.Files, File{Name: "mixed-" + f.Name, Size: f.Size})
-	}
-	for i := range s.Files {
-		d.Files[i].Name = "mixed-" + d.Files[i].Name
-	}
-	return d
+	return internSeeded("mixed", seed, func() *Dataset {
+		s := Small(seed)
+		l := Large(seed + 1)
+		d := &Dataset{Label: "mixed"}
+		d.Files = append(d.Files, s.Files...)
+		for _, f := range l.Files {
+			d.Files = append(d.Files, File{Name: "mixed-" + f.Name, Size: f.Size})
+		}
+		for i := range s.Files {
+			d.Files[i].Name = "mixed-" + d.Files[i].Name
+		}
+		return d.seal()
+	})
 }
 
 // Friendliness returns the §4.5 dataset: 1.1 TiB of files between
 // 100 MiB and 10 GiB.
 func Friendliness(seed int64) *Dataset {
-	rng := rand.New(rand.NewSource(seed))
-	d := randomSized("friendliness", rng, 770, 100*MiB, 10*GiB, 1100*GiB)
-	return d
+	return internSeeded("friendliness", seed, func() *Dataset {
+		rng := rand.New(rand.NewSource(seed))
+		return randomSized("friendliness", rng, 770, 100*MiB, 10*GiB, 1100*GiB)
+	})
 }

@@ -1,0 +1,60 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/transfer"
+)
+
+// TestNextDeadline: the deadline a scheduler may batch up to is +Inf
+// outside the session's lifetime, the next decision epoch while idle,
+// and the pending warm-up expiry when that comes sooner — and a Tick
+// strictly before the deadline must be a no-op, which is what licenses
+// skipping it.
+func TestNextDeadline(t *testing.T) {
+	env := &winEnv{setting: transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1}}
+	var log []Event
+	s := newTestSession(t, env, incDecider{}, Config{ID: "t", Interval: 3, Warmup: 1}, &log)
+
+	if d := s.NextDeadline(); !math.IsInf(d, 1) {
+		t.Errorf("unstarted NextDeadline = %v, want +Inf", d)
+	}
+	s.Start(0, env.setting)
+	if d := s.NextDeadline(); d != 3 {
+		t.Errorf("fresh NextDeadline = %v, want 3 (first epoch)", d)
+	}
+
+	// Ticks strictly before the deadline must not observe, decide, or
+	// touch the environment.
+	windows, events := env.windows, len(log)
+	for now := 0.25; now < 3; now += 0.25 {
+		if err := s.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if env.windows != windows || env.samples != 0 || len(log) != events {
+		t.Fatal("Tick before NextDeadline was not a no-op")
+	}
+
+	// The epoch at t=3 applies a new setting, scheduling a warm-up
+	// restart at 4 — now the nearer deadline; once it fires, the next
+	// epoch at 6 is.
+	if err := s.Tick(3); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.NextDeadline(); d != 4 {
+		t.Errorf("post-epoch NextDeadline = %v, want 4 (warm-up expiry)", d)
+	}
+	if err := s.Tick(4); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.NextDeadline(); d != 6 {
+		t.Errorf("post-warm-up NextDeadline = %v, want 6 (second epoch)", d)
+	}
+
+	s.Finish(5)
+	if d := s.NextDeadline(); !math.IsInf(d, 1) {
+		t.Errorf("finished NextDeadline = %v, want +Inf", d)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/transfer"
@@ -146,6 +147,23 @@ func (s *Session) Start(now float64, initial transfer.Setting) {
 		s.win.BeginWindow()
 	}
 	s.emit(Event{Kind: Join, Time: now, Setting: initial})
+}
+
+// NextDeadline returns the earliest future time at which Tick can act:
+// the next decision epoch or a pending warm-up window restart,
+// whichever comes first. Drivers that batch dead ticks (the testbed's
+// event-horizon stepping) only need to call Tick at times ≥
+// NextDeadline(); calling it earlier is a no-op by construction. It
+// returns +Inf for sessions that have not started or have finished.
+func (s *Session) NextDeadline() float64 {
+	if !s.started || s.finished {
+		return math.Inf(1)
+	}
+	d := s.nextDecision
+	if s.resetAt > 0 && s.resetAt < d {
+		d = s.resetAt
+	}
+	return d
 }
 
 // Tick executes the session's due actions at time now on a window

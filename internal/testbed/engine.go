@@ -29,11 +29,25 @@ type taskState struct {
 	rate float64
 	// loss is the most recent equilibrium loss estimate.
 	loss float64
+	// carry is the sub-byte remainder of rate·dt/8 not yet handed to
+	// Advance, so long transfers don't undercount one byte per tick.
+	carry float64
 	// Measurement-window accumulators.
 	windowStart   float64
 	windowBytes   float64
 	windowLossSum float64 // time-weighted loss integral
 	windowDur     float64
+
+	// Fast-path cache, refreshed by every full Step: the per-connection
+	// allocation and the allocation inputs it was derived from. While
+	// these inputs are unchanged the per-tick update is pure arithmetic
+	// on them (see fastTick), with no demand rebuild or map traffic.
+	eqRate float64 // alloc.Rate[id], bits/s per connection
+	eqLoss float64 // alloc.Loss[id]
+	files  int     // ActiveFiles at allocation time
+	conns  int     // ActiveConnections at allocation time
+	q      int     // Setting().Pipelining at allocation time
+	gen    int     // task.Generation() at allocation time
 }
 
 // demandKey is the memo key contribution of one demand. Together with
@@ -73,7 +87,29 @@ type Engine struct {
 	memoOK   bool
 	memoKey  []demandKey
 	memoCaps [4]float64
+
+	// Event-horizon fast path (RunTicks). factive snapshots the active
+	// states the cached allocation covers; fastOK reports that their
+	// cached inputs still match the engine, so ticks can be replayed by
+	// fastTick without rebuilding demands; stepChanged records whether
+	// the last tick crossed a file-count horizon (a macro-step boundary
+	// callers must observe). exact forces the always-tick path for A/B
+	// verification (-exact on the cmds).
+	exact       bool
+	fastOK      bool
+	stepChanged bool
+	factive     []*taskState
 }
+
+// defaultExact seeds every new engine's stepping mode. Commands set it
+// once at startup (the -exact flag) before building engines; it is not
+// safe to toggle concurrently with engine construction.
+var defaultExact bool
+
+// SetDefaultExact makes engines built afterwards start in exact
+// (always-tick) stepping mode — the A/B verification path behind the
+// cmds' -exact flags. Call before constructing engines.
+func SetDefaultExact(v bool) { defaultExact = v }
 
 // NewEngine validates cfg and returns an engine seeded for
 // deterministic noise.
@@ -98,8 +134,21 @@ func NewEngine(cfg Config, seed int64) (*Engine, error) {
 		rng:   rand.New(rand.NewSource(seed)),
 		state: make(map[string]*taskState),
 		path:  []string{resSrcStore, resSrcCPU, resSrcNIC, resLink, resDstNIC, resDstCPU, resDstStore},
+		exact: defaultExact,
 	}, nil
 }
+
+// SetExact forces (true) or lifts (false) exact always-tick stepping:
+// with it set, RunTicks and StepUntil degrade to per-tick full Steps.
+// The batched path is bit-identical by construction; the flag exists so
+// that claim stays checkable end to end.
+func (e *Engine) SetExact(v bool) {
+	e.exact = v
+	e.fastOK = false
+}
+
+// Exact reports whether the engine is in exact always-tick mode.
+func (e *Engine) Exact() bool { return e.exact }
 
 // SetAllocMemo enables or disables allocator memoization (enabled by
 // default). Disabling forces every Step to re-run water-filling; the
@@ -108,6 +157,7 @@ func NewEngine(cfg Config, seed int64) (*Engine, error) {
 func (e *Engine) SetAllocMemo(enabled bool) {
 	e.memoOff = !enabled
 	e.memoOK = false
+	e.fastOK = false
 }
 
 // Config returns the engine's configuration.
@@ -127,6 +177,7 @@ func (e *Engine) AddTask(t *transfer.Task) error {
 	}
 	e.state[t.ID()] = &taskState{task: t, windowStart: e.now}
 	e.order = append(e.order, t.ID())
+	e.fastOK = false
 	return nil
 }
 
@@ -143,6 +194,7 @@ func (e *Engine) RemoveTask(id string) {
 			break
 		}
 	}
+	e.fastOK = false
 }
 
 // Task returns the task with the given ID, or nil.
@@ -207,6 +259,12 @@ func (e *Engine) Step(dt float64) {
 	active := e.activeStates()
 	if len(active) == 0 {
 		e.now += dt
+		// A drained engine has no allocation inputs left to change:
+		// fastTick over an empty snapshot just advances the clock, so
+		// batching stays engaged.
+		e.factive = e.factive[:0]
+		e.fastOK = true
+		e.stepChanged = false
 		return
 	}
 
@@ -258,14 +316,20 @@ func (e *Engine) Step(dt float64) {
 
 	// Fold the per-connection allocation into per-task equilibrium
 	// rates and losses, apply pipelining efficiency and ramping, and
-	// advance the tasks.
+	// advance the tasks. Along the way, snapshot the allocation inputs
+	// per task so subsequent ticks can be replayed by fastTick while
+	// nothing observable changes.
+	changed := false
+	e.factive = e.factive[:0]
 	for _, st := range active {
 		set := st.task.Setting()
 		m := st.task.ActiveConnections()
-		eq := alloc.Rate[st.task.ID()] * float64(m)
+		files := st.task.ActiveFiles()
+		eqRate := alloc.Rate[st.task.ID()]
 		loss := alloc.Loss[st.task.ID()]
+		eq := eqRate * float64(m)
 		if m > 0 {
-			perFileRate := eq / float64(st.task.ActiveFiles())
+			perFileRate := eq / float64(files)
 			eff := transfer.PipelineEfficiency(st.task.RemainingMeanFileSize(), perFileRate, e.cfg.RTT, set.Pipelining)
 			eq *= eff
 		}
@@ -288,9 +352,182 @@ func (e *Engine) Step(dt float64) {
 		st.windowBytes += bytes
 		st.windowLossSum += loss * dt
 		st.windowDur += dt
-		st.task.Advance(int64(bytes), dt)
+		whole := bytes + st.carry
+		n := int64(whole)
+		st.carry = whole - float64(n)
+		st.task.Advance(n, dt)
+
+		st.eqRate = eqRate
+		st.eqLoss = loss
+		st.files = files
+		st.conns = m
+		st.q = set.Pipelining
+		st.gen = st.task.Generation()
+		e.factive = append(e.factive, st)
+		if st.task.ActiveFiles() != files {
+			changed = true
+		}
 	}
 	e.now += dt
+	e.stepChanged = changed
+	// The cached allocation and snapshots describe the current state
+	// only if the allocator memo is live and this tick crossed no file
+	// horizon.
+	e.fastOK = !e.memoOff && e.memoOK && !changed
+}
+
+// fastReady reports whether the next tick can be replayed by fastTick:
+// the last full Step left a live allocation snapshot and no task has
+// been retuned behind the engine's back since (generation check — a
+// session Apply between macro-steps lands here).
+func (e *Engine) fastReady() bool {
+	if e.exact || !e.fastOK {
+		return false
+	}
+	for _, st := range e.factive {
+		if st.gen != st.task.Generation() {
+			return false
+		}
+	}
+	return true
+}
+
+// fastTick replays one Step over the cached allocation snapshot: the
+// identical per-task arithmetic (pipelining efficiency, ramp, window
+// accumulation, byte advance) with the demand rebuild, capacity
+// recomputation, memo comparison, and allocation-map lookups skipped.
+// It reports whether the tick crossed a file-count horizon, which
+// invalidates the snapshot for the next tick.
+func (e *Engine) fastTick(dt float64) bool {
+	if len(e.factive) == 0 {
+		e.now += dt
+		return false
+	}
+	// Hoist the ramp factors: dt and tau are tick-invariant, and
+	// math.Exp is deterministic, so these are bit-identical to the
+	// inline per-task computation in Step.
+	tau := e.cfg.rampTau()
+	fUp := 1 - math.Exp(-dt/tau)
+	fDown := 1 - math.Exp(-dt/(tau/3))
+	changed := false
+	for _, st := range e.factive {
+		eq := st.eqRate * float64(st.conns)
+		if st.conns > 0 {
+			perFileRate := eq / float64(st.files)
+			eff := transfer.PipelineEfficiency(st.task.RemainingMeanFileSize(), perFileRate, e.cfg.RTT, st.q)
+			eq *= eff
+		}
+		f := fUp
+		if eq < st.rate {
+			f = fDown
+		}
+		st.rate += (eq - st.rate) * f
+		if st.rate < 0 {
+			st.rate = 0
+		}
+		st.loss = st.eqLoss
+
+		bytes := st.rate * dt / 8
+		st.windowBytes += bytes
+		st.windowLossSum += st.eqLoss * dt
+		st.windowDur += dt
+		whole := bytes + st.carry
+		n := int64(whole)
+		st.carry = whole - float64(n)
+		st.task.Advance(n, dt)
+		if st.task.ActiveFiles() != st.files {
+			changed = true
+		}
+	}
+	e.now += dt
+	if changed {
+		e.fastOK = false
+	}
+	e.stepChanged = changed
+	return changed
+}
+
+// RunTicks advances up to k ticks of dt seconds each, using the fast
+// replay path whenever the allocation snapshot is live and falling
+// back to a full Step otherwise. It returns after the tick on which a
+// file-count horizon is crossed (a task finished a file in a way that
+// changes its ActiveFiles, or completed), so drivers can run their
+// per-event bookkeeping at exactly the time the always-tick loop
+// would; the return value is the number of ticks actually executed.
+// The tick sequence — and every per-task float operation within it —
+// is identical to calling Step(dt) k times. It panics on non-positive
+// dt (a driver bug); k ≤ 0 executes nothing.
+func (e *Engine) RunTicks(k int, dt float64) int {
+	if dt <= 0 {
+		panic(fmt.Sprintf("testbed: RunTicks(dt=%v) must be positive", dt))
+	}
+	consumed := 0
+	for consumed < k {
+		if e.fastReady() {
+			if e.fastTick(dt) {
+				return consumed + 1
+			}
+			consumed++
+			continue
+		}
+		e.Step(dt)
+		consumed++
+		if e.stepChanged {
+			return consumed
+		}
+	}
+	return consumed
+}
+
+// StepUntil advances the engine in ticks of dt until Now() ≥ t, the
+// macro-step equivalent of `for e.Now() < t { e.Step(dt) }` (the final
+// tick may overshoot t, exactly as that loop does). The remaining tick
+// count is derived by replaying the clock accumulation, so boundary
+// comparisons match the per-tick loop bit for bit.
+func (e *Engine) StepUntil(t, dt float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("testbed: StepUntil(dt=%v) must be positive", dt))
+	}
+	for e.now < t {
+		u, k := e.now, 0
+		for u < t {
+			u += dt
+			k++
+		}
+		e.RunTicks(k, dt)
+	}
+}
+
+// NextEvent returns a conservative estimate of the earliest simulated
+// time at which the engine's allocation inputs can change on their
+// own: a task crossing the file boundary that alters its ActiveFiles
+// count, including completing outright. The estimate divides each
+// task's horizon bytes by the larger of its current smoothed rate and
+// its equilibrium target, so a still-ramping transfer (whose rate only
+// grows toward equilibrium) can make the estimate early but never
+// late-beyond-the-event in steady state; RunTicks re-verifies every
+// tick regardless, so the estimate affects macro-step sizing only,
+// never correctness. Returns +Inf when nothing is in sight (no active
+// tasks, or all rates zero).
+func (e *Engine) NextEvent() float64 {
+	h := math.Inf(1)
+	for _, id := range e.order {
+		st := e.state[id]
+		if st.task.Done() {
+			continue
+		}
+		bound := st.rate
+		if eq := st.eqRate * float64(st.conns); eq > bound {
+			bound = eq
+		}
+		if bound <= 0 {
+			continue
+		}
+		if t := e.now + float64(st.task.HorizonBytes())*8/bound; t < h {
+			h = t
+		}
+	}
+	return h
 }
 
 // memoValid reports whether the cached allocation in e.alloc was

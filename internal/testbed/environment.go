@@ -81,11 +81,20 @@ func (e *SimEnvironment) Measure(d time.Duration) (transfer.Sample, error) {
 	e.BeginWindow()
 	target := e.eng.Now() + d.Seconds()
 	for e.eng.Now() < target && !e.task.Done() {
-		step := tick
-		if rem := target - e.eng.Now(); rem < step {
-			step = rem
+		if rem := target - e.eng.Now(); rem < tick {
+			e.eng.Step(rem)
+			continue
 		}
-		e.eng.Step(step)
+		// Full ticks run as one macro-step; RunTicks returns at any
+		// file-count event, so the done check stays per-event accurate.
+		// Only whole ticks are counted — the trailing partial step is
+		// taken by the branch above on a later iteration.
+		u, k := e.eng.Now(), 0
+		for target-u >= tick {
+			u += tick
+			k++
+		}
+		e.eng.RunTicks(k, tick)
 	}
 	return e.TakeSample()
 }

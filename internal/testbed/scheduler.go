@@ -159,11 +159,20 @@ func (s *Scheduler) Add(p Participant) error {
 
 // Run advances the simulation until the given time (seconds) with the
 // given tick, orchestrating one session loop per participant over the
-// shared virtual clock: joins and leaves at their scheduled times, a
-// Tick per live session per step (epoch cadence, warm-up, and decision
-// flow are session-owned), completion sweeps, and periodic throughput
-// recording. It returns the timeline recorded from the sessions' event
-// streams. Run panics on non-positive tick or horizon — driver bugs.
+// shared virtual clock: joins and leaves at their scheduled times,
+// session Ticks at their decision and warm-up deadlines (epoch
+// cadence, warm-up, and decision flow are session-owned), completion
+// sweeps, and periodic throughput recording. It returns the timeline
+// recorded from the sessions' event streams.
+//
+// Between those boundaries nothing observable can happen, so Run
+// advances the engine in one macro-step per loop iteration
+// (Engine.RunTicks) rather than regaining control every tick; with the
+// engine in exact mode every tick is a full Step and every live
+// session is Ticked every step — the original always-tick loop. Both
+// paths execute identical per-tick arithmetic and produce identical
+// timelines and event streams. Run panics on non-positive tick or
+// horizon — driver bugs.
 func (s *Scheduler) Run(until, tick float64) *Timeline {
 	if tick <= 0 || until <= 0 {
 		panic(fmt.Sprintf("testbed: Run(until=%v, tick=%v) invalid", until, tick))
@@ -171,6 +180,7 @@ func (s *Scheduler) Run(until, tick float64) *Timeline {
 	tl := &Timeline{Finished: make(map[string]float64)}
 	sink := session.MultiSink(tl.Sink(), s.logSink(), s.events)
 	nextRecord := 0.0
+	exact := s.eng.Exact()
 
 	for s.eng.Now() < until {
 		now := s.eng.Now()
@@ -201,9 +211,14 @@ func (s *Scheduler) Run(until, tick float64) *Timeline {
 			}
 		}
 
-		// Decision epochs and warm-up expiry, owned by each session.
+		// Decision epochs and warm-up expiry, owned by each session. A
+		// Tick before the session's deadline is a no-op by construction,
+		// so the batched path skips the call entirely.
 		for _, e := range s.parts {
 			if e.sess == nil || e.sess.Finished() {
+				continue
+			}
+			if !exact && now < e.sess.NextDeadline() {
 				continue
 			}
 			if err := e.sess.Tick(now); err != nil {
@@ -211,7 +226,11 @@ func (s *Scheduler) Run(until, tick float64) *Timeline {
 			}
 		}
 
-		s.eng.Step(tick)
+		if exact {
+			s.eng.Step(tick)
+		} else {
+			s.eng.RunTicks(s.batchTicks(now, until, tick, nextRecord), tick)
+		}
 
 		// Completion bookkeeping.
 		for _, e := range s.parts {
@@ -233,6 +252,51 @@ func (s *Scheduler) Run(until, tick float64) *Timeline {
 		}
 	}
 	return tl
+}
+
+// batchTicks sizes one macro-step: the number of consecutive ticks the
+// engine may take before the orchestration loop must regain control at
+// the next event horizon — a pending join or leave, a live session's
+// decision or warm-up deadline, the recording point, the run's end, or
+// the engine's own estimate of the next file-count event. Pre-step
+// horizons (joins, leaves, deadlines, the engine estimate) bound the
+// loop-head times; the recording point fires after a step, so it stops
+// the batch right after the tick that crosses it. Head times are
+// replayed with the same additions the engine clock performs, so every
+// boundary comparison is bit-identical to the always-tick loop's; the
+// engine estimate can only shorten a batch (RunTicks re-verifies each
+// tick), never change results.
+func (s *Scheduler) batchTicks(now, until, tick, nextRecord float64) int {
+	h := s.eng.NextEvent()
+	for _, e := range s.parts {
+		if e.sess == nil {
+			if e.p.JoinAt < h {
+				h = e.p.JoinAt
+			}
+			continue
+		}
+		if e.sess.Finished() {
+			continue
+		}
+		if d := e.sess.NextDeadline(); d < h {
+			h = d
+		}
+		if e.p.LeaveAt > 0 && e.p.LeaveAt < h {
+			h = e.p.LeaveAt
+		}
+	}
+	k, t := 0, now
+	for t < until && t < h {
+		t += tick
+		k++
+		if t >= nextRecord {
+			break
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // logSink translates lifecycle events into the legacy progress-log
@@ -288,13 +352,9 @@ func SweepConcurrency(cfg Config, seed int64, ds func() *transfer.Task, values [
 			return
 		}
 		const tick = 0.25
-		for eng.Now() < settleTime {
-			eng.Step(tick)
-		}
+		eng.StepUntil(settleTime, tick)
 		eng.BeginWindow(task.ID())
-		for eng.Now() < settleTime+measureTime {
-			eng.Step(tick)
-		}
+		eng.StepUntil(settleTime+measureTime, tick)
 		sample, err := eng.TakeSample(task.ID())
 		if err != nil {
 			errs[i] = err

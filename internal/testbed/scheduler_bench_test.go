@@ -1,0 +1,55 @@
+package testbed
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchScheduler builds a three-agent scenario on a fresh engine: the
+// same orchestration shape cmd/reproduce's timeline figures run, with
+// endless transfers so the run measures steady-state orchestration
+// rather than completion bookkeeping.
+func benchScheduler(b *testing.B, exact bool) *Scheduler {
+	b.Helper()
+	eng, err := NewEngine(HPCLab(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.SetExact(exact)
+	s := NewScheduler(eng, 1)
+	for i := 0; i < 3; i++ {
+		if err := s.Add(Participant{Task: bigTask(fmt.Sprintf("t%d", i), 8)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkSchedulerRun measures a full 300-simulated-second scheduler
+// run on the default event-horizon stepping path: session ticks only at
+// decision and warm-up deadlines, engine ticks batched up to the next
+// horizon and replayed by fastTick.
+func BenchmarkSchedulerRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchScheduler(b, false)
+		b.StartTimer()
+		s.Run(300, 0.25)
+	}
+}
+
+// BenchmarkSchedulerRunExact measures the identical run on the exact
+// always-tick path (-exact): every session ticked and a full engine
+// Step taken on every 0.25 s tick. The ratio to BenchmarkSchedulerRun
+// is the stepping layer's speedup; the outputs are byte-identical (see
+// TestEventHorizonSteppingIsTransparent).
+func BenchmarkSchedulerRunExact(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := benchScheduler(b, true)
+		b.StartTimer()
+		s.Run(300, 0.25)
+	}
+}

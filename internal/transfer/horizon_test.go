@@ -1,0 +1,66 @@
+package transfer
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestHorizonBytes walks a 5×1000-byte dataset at concurrency 2
+// through its file-count horizons: first the boundary where only the
+// final two files remain (ActiveFiles can start shrinking), then the
+// head file's remaining bytes, then zero at completion.
+func TestHorizonBytes(t *testing.T) {
+	task, err := NewTask("h", smallDS(), Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 files remain > concurrency 2: horizon is everything but the
+	// final two files, 5000 − 2000.
+	if got := task.HorizonBytes(); got != 3000 {
+		t.Errorf("fresh task HorizonBytes = %d, want 3000", got)
+	}
+	// 3500 bytes in: 3 files done, 500 into the 4th. Two files remain
+	// (≤ concurrency), so the horizon is the head file's last 500.
+	task.Advance(3500, 1)
+	if got := task.HorizonBytes(); got != 500 {
+		t.Errorf("mid-tail HorizonBytes = %d, want 500", got)
+	}
+	task.Advance(1500, 1)
+	if !task.Done() {
+		t.Fatal("task should have drained")
+	}
+	if got := task.HorizonBytes(); got != 0 {
+		t.Errorf("done HorizonBytes = %d, want 0", got)
+	}
+}
+
+// TestGeneration: every SetSetting bumps the generation counter —
+// including a retune to the same values — so engines can detect
+// out-of-band Apply calls between macro-steps without comparing
+// settings.
+func TestGeneration(t *testing.T) {
+	task, err := NewTask("g", dataset.Uniform("g", 2, 100), DefaultSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := task.Generation()
+	if err := task.SetSetting(Setting{Concurrency: 3, Parallelism: 1, Pipelining: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if task.Generation() != g0+1 {
+		t.Errorf("generation after retune = %d, want %d", task.Generation(), g0+1)
+	}
+	if err := task.SetSetting(task.Setting()); err != nil {
+		t.Fatal(err)
+	}
+	if task.Generation() != g0+2 {
+		t.Errorf("generation after same-value retune = %d, want %d", task.Generation(), g0+2)
+	}
+	if err := task.SetSetting(Setting{Concurrency: 0}); err == nil {
+		t.Fatal("invalid setting accepted")
+	}
+	if task.Generation() != g0+2 {
+		t.Errorf("generation bumped by rejected setting: %d, want %d", task.Generation(), g0+2)
+	}
+}

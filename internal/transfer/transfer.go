@@ -95,6 +95,7 @@ type Task struct {
 	id      string
 	ds      *dataset.Dataset
 	setting Setting
+	gen     int // bumped on every SetSetting
 
 	totalBytes int64   // cached dataset size (datasets are immutable)
 	nextFile   int     // index of the first file not yet fully sent
@@ -141,8 +142,14 @@ func (t *Task) SetSetting(s Setting) error {
 		return err
 	}
 	t.setting = s
+	t.gen++
 	return nil
 }
+
+// Generation returns a counter bumped on every SetSetting. Engines use
+// it to detect out-of-band retunes between macro-steps without
+// comparing whole settings.
+func (t *Task) Generation() int { return t.gen }
 
 // Done reports whether every byte of the dataset has been sent.
 func (t *Task) Done() bool { return t.nextFile >= len(t.ds.Files) }
@@ -210,6 +217,32 @@ func (t *Task) Advance(bytes int64, dt float64) {
 		t.fileSent = 0
 		t.nextFile++
 	}
+}
+
+// HorizonBytes returns how many more bytes must complete before the
+// task's ActiveFiles count can change: while more than Concurrency
+// files remain, finishing a file swaps a queued one in and the count is
+// stable, so the horizon is the boundary where only Concurrency files
+// are left; once inside that tail, every file completion shrinks the
+// count, so the horizon is the head file's remaining bytes. Divided by
+// a rate this yields the time-to-next-file-completion event the
+// simulator's event-horizon stepping batches up to. Returns 0 when the
+// task is done.
+func (t *Task) HorizonBytes() int64 {
+	remaining := len(t.ds.Files) - t.nextFile
+	if remaining <= 0 {
+		return 0
+	}
+	if remaining <= t.setting.Concurrency {
+		return t.ds.Files[t.nextFile].Size - t.fileSent
+	}
+	// Distance to the remaining == Concurrency boundary: everything but
+	// the final Concurrency files. O(Concurrency), not O(files).
+	var tail int64
+	for i := len(t.ds.Files) - t.setting.Concurrency; i < len(t.ds.Files); i++ {
+		tail += t.ds.Files[i].Size
+	}
+	return t.totalBytes - tail - t.bytesDone
 }
 
 // Progress returns the completed fraction in [0, 1].
