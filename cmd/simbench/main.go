@@ -90,6 +90,9 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	if err := checkRequired(benches); err != nil {
+		fatal("%v", err)
+	}
 	report.Benchmarks = benches
 
 	if !*skipReproduce {
@@ -121,6 +124,35 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "simbench: wrote %s (%d benchmarks)\n", *out, len(benches))
+}
+
+// requiredBenchmarks are the hot-path benchmarks BENCH_sim.json must
+// always carry: the decision path (Search.Next at the experiments'
+// MaxN=32 domain and the 64-point large domain) and the simulator
+// loop. A rename or accidental deletion fails the run instead of
+// silently dropping the number reviewers track.
+var requiredBenchmarks = []string{
+	"BenchmarkSearchNext",
+	"BenchmarkSearchNextLargeDomain",
+	"BenchmarkSchedulerRunMinute",
+}
+
+// checkRequired verifies every required benchmark produced a result.
+func checkRequired(benches []Benchmark) error {
+	have := make(map[string]bool, len(benches))
+	for _, b := range benches {
+		have[b.Name] = true
+	}
+	var missing []string
+	for _, name := range requiredBenchmarks {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required benchmarks missing from results: %s", strings.Join(missing, ", "))
+	}
+	return nil
 }
 
 func fatal(format string, args ...any) {

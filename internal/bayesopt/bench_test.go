@@ -72,13 +72,49 @@ func BenchmarkGPPredict(b *testing.B) {
 	}
 }
 
-// BenchmarkSearchNext measures one full BO decision: window update, GP
-// refit, portfolio proposal over a 64-point grid.
-func BenchmarkSearchNext(b *testing.B) {
-	s := New(64, 1)
+// benchmarkSearchNext measures one full BO decision at the given
+// domain size: window update, GP refit with model selection, batched
+// posterior sweep, portfolio proposal.
+func benchmarkSearchNext(b *testing.B, maxN int) {
+	s := New(maxN, 1)
 	n := 2
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		n = s.Next(optimizer.Observation{N: n, Utility: float64(n % 13)})
+	}
+}
+
+// BenchmarkSearchNext uses the 32-point grid the experiments search
+// (Emulab scenarios cap concurrency at 32).
+func BenchmarkSearchNext(b *testing.B) { benchmarkSearchNext(b, 32) }
+
+// BenchmarkSearchNextLargeDomain doubles the grid to 64 points to
+// track how the decision path scales with the domain.
+func BenchmarkSearchNextLargeDomain(b *testing.B) { benchmarkSearchNext(b, 64) }
+
+// BenchmarkGPPredictInto measures the batched posterior sweep over a
+// 64-point grid — the decision path's replacement for 64 scalar
+// Predicts.
+func BenchmarkGPPredictInto(b *testing.B) {
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+		ys[i] = math.Sin(float64(i) / 3)
+	}
+	gp := NewGP(4, 1, 0.02)
+	if err := gp.Fit(xs, ys); err != nil {
+		b.Fatal(err)
+	}
+	const m = 64
+	grid := make([]float64, m)
+	for i := range grid {
+		grid[i] = float64(i + 1)
+	}
+	means := make([]float64, m)
+	stds := make([]float64, m)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gp.PredictInto(grid, means, stds)
 	}
 }

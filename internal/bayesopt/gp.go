@@ -56,10 +56,23 @@ type GP struct {
 	// built with; the incremental paths require them unchanged.
 	fitHyper [3]float64
 
-	// Scratch buffers (kernel rows, Predict k* and solve vectors).
+	// Scratch buffers (kernel rows, Predict k* and solve vectors,
+	// PredictInto's cross-covariance block).
 	rowBuf []float64
 	kstar  []float64
 	vbuf   []float64
+	bbuf   []float64
+
+	// kTab memoises the RBF kernel over integer input distances: the
+	// searcher's inputs are integer concurrencies, so almost every
+	// kernel evaluation — fits and candidate sweeps alike — has an
+	// integral distance and resolves to a table lookup instead of a
+	// math.Exp call. Entry d is built with the same expression the
+	// direct path evaluates, so lookups are bitwise identical.
+	// kTabHyper records the (LengthScale, SignalVar) the table was
+	// built with; syncKTab drops it when they change.
+	kTab     []float64
+	kTabHyper [2]float64
 }
 
 // NewGP returns a GP with the given hyperparameters. It panics on
@@ -71,10 +84,91 @@ func NewGP(lengthScale, signalVar, noiseVar float64) *GP {
 	return &GP{LengthScale: lengthScale, SignalVar: signalVar, NoiseVar: noiseVar, chol: linalg.NewChol(24)}
 }
 
-// kernel evaluates the RBF kernel without the noise term.
+// maxKernelTable bounds the integer-distance kernel table (64 KiB of
+// float64 at most); larger distances take the direct math.Exp path.
+const maxKernelTable = 8192
+
+// syncKTab invalidates the integer-distance kernel table if the kernel
+// hyperparameters changed since it was built. Fit/Predict/PredictInto
+// call it on entry so kernel() can trust the table unconditionally.
+func (g *GP) syncKTab() {
+	if g.kTabHyper[0] != g.LengthScale || g.kTabHyper[1] != g.SignalVar {
+		g.kTab = g.kTab[:0]
+		g.kTabHyper = [2]float64{g.LengthScale, g.SignalVar}
+	}
+}
+
+// growKTab extends the table through distance di. Kept out of kernel's
+// inlining budget: it runs a handful of times per hyperparameter set.
+//
+//go:noinline
+func (g *GP) growKTab(di int) {
+	for d := len(g.kTab); d <= di; d++ {
+		z := float64(d) / g.LengthScale
+		g.kTab = append(g.kTab, g.SignalVar*math.Exp(-0.5*z*z))
+	}
+}
+
+// sweepTablePrepared reports whether the query grid xs is consecutive
+// integers and every training input is integral, in which case it
+// grows the kernel table to cover every query↔training distance and
+// returns the grid's integer origin. PredictInto's fast path then
+// reads every kernel value straight out of the table.
+func (g *GP) sweepTablePrepared(xs []float64, m int) (int, bool) {
+	x0 := xs[0]
+	x0i := int(x0)
+	if float64(x0i) != x0 {
+		return 0, false
+	}
+	for j, x := range xs {
+		if x != x0+float64(j) {
+			return 0, false
+		}
+	}
+	maxIdx := 0
+	for _, xi := range g.xs {
+		p := int(xi)
+		if float64(p) != xi {
+			return 0, false
+		}
+		rel := p - x0i
+		if rel > maxIdx {
+			maxIdx = rel
+		}
+		if d := (m - 1) - rel; d > maxIdx {
+			maxIdx = d
+		}
+	}
+	if maxIdx > maxKernelTable {
+		return 0, false
+	}
+	if maxIdx >= len(g.kTab) {
+		g.growKTab(maxIdx)
+	}
+	return x0i, true
+}
+
+// kernel evaluates the RBF kernel without the noise term. Integral
+// input distances — the only kind the integer concurrency grid
+// produces — come from kTab; the table entry is σf²·exp(−½(d/ℓ)²)
+// with d the exact distance, bitwise equal to the direct expression
+// below because negating an exact difference and squaring it round
+// identically.
 func (g *GP) kernel(a, b float64) float64 {
-	d := (a - b) / g.LengthScale
-	return g.SignalVar * math.Exp(-0.5*d*d)
+	d := a - b
+	if di := int(d); float64(di) == d {
+		if di < 0 {
+			di = -di
+		}
+		if di >= 0 && di <= maxKernelTable {
+			if di >= len(g.kTab) {
+				g.growKTab(di)
+			}
+			return g.kTab[di]
+		}
+	}
+	z := d / g.LengthScale
+	return g.SignalVar * math.Exp(-0.5*z*z)
 }
 
 // kernelRow fills g.rowBuf with k(xs[n], xs[0..n]) including the noise
@@ -138,6 +232,20 @@ func (g *GP) slidesByOne(xs []float64) bool {
 // called with mismatched or empty slices or when the kernel matrix is
 // numerically singular (which the noise term should prevent).
 func (g *GP) Fit(xs, ys []float64) error {
+	if err := g.fitPrepare(xs, ys); err != nil {
+		return err
+	}
+	g.solveAlpha()
+	return nil
+}
+
+// fitPrepare is Fit minus the alpha solve: it updates the Cholesky
+// factor, standardises the targets and records the fit state, leaving
+// g.alpha sized but stale. Search's model selection prepares all three
+// length-scale candidates first and then solves their alphas in one
+// interleaved pass (linalg.SolveInto3); single-GP callers use Fit,
+// which is fitPrepare plus solveAlpha.
+func (g *GP) fitPrepare(xs, ys []float64) error {
 	if len(xs) == 0 {
 		return fmt.Errorf("bayesopt: Fit with no observations")
 	}
@@ -145,6 +253,7 @@ func (g *GP) Fit(xs, ys []float64) error {
 		return fmt.Errorf("bayesopt: Fit length mismatch %d != %d", len(xs), len(ys))
 	}
 	n := len(xs)
+	g.syncKTab()
 
 	// Standardise targets.
 	mean := 0.0
@@ -197,13 +306,17 @@ func (g *GP) Fit(xs, ys []float64) error {
 		g.alpha = make([]float64, n)
 	}
 	g.alpha = g.alpha[:n]
-	g.chol.SolveInto(g.alpha, g.yStd)
 	g.xs = append(g.xs[:0], xs...)
 	g.meanY = mean
 	g.stdY = std
 	g.fitHyper = hyper
 	g.fitted = true
 	return nil
+}
+
+// solveAlpha computes alpha = K⁻¹·yStd against the prepared factor.
+func (g *GP) solveAlpha() {
+	g.chol.SolveInto(g.alpha, g.yStd)
 }
 
 // Fitted reports whether Fit has succeeded at least once (and the
@@ -217,6 +330,7 @@ func (g *GP) Predict(x float64) (mean, std float64) {
 	if !g.Fitted() {
 		panic("bayesopt: Predict before Fit")
 	}
+	g.syncKTab()
 	n := len(g.xs)
 	if cap(g.kstar) < n {
 		g.kstar = make([]float64, n)
@@ -234,6 +348,97 @@ func (g *GP) Predict(x float64) (mean, std float64) {
 		varStar = 0
 	}
 	return mu*g.stdY + g.meanY, math.Sqrt(varStar) * g.stdY
+}
+
+// PredictInto evaluates the posterior at every query point in one
+// batched pass, writing the means and standard deviations (original
+// target units) into means and stds. It is bitwise identical to
+// calling Predict once per point — the same individually rounded
+// operations in the same per-point order — but touches the Cholesky
+// factor once for all points instead of once per point and reuses one
+// flat scratch block, so a full candidate-grid sweep is a single
+// cache-friendly kernel. The alpha vector (K⁻¹y) is already cached by
+// Fit; no per-call factor work happens here. It panics before a
+// successful Fit or on length mismatches.
+func (g *GP) PredictInto(xs, means, stds []float64) {
+	if !g.Fitted() {
+		panic("bayesopt: PredictInto before Fit")
+	}
+	m := len(xs)
+	if len(means) != m || len(stds) != m {
+		panic(fmt.Sprintf("bayesopt: PredictInto lengths %d,%d != %d", len(means), len(stds), m))
+	}
+	if m == 0 {
+		return
+	}
+	g.syncKTab()
+	n := len(g.xs)
+	// B is the n×m cross-covariance block in i-major layout:
+	// B[i*m+j] = k(xs[j], X[i]) — column j is Predict's k* vector.
+	if cap(g.bbuf) < n*m {
+		g.bbuf = make([]float64, n*m)
+	}
+	b := g.bbuf[:n*m]
+	// The means accumulate during the build in ascending-i order, so
+	// each is bitwise linalg.Dot(k*, alpha).
+	for j := range means {
+		means[j] = 0
+	}
+	if x0, ok := g.sweepTablePrepared(xs, m); ok {
+		// Fast path: consecutive-integer query grid over integral
+		// training inputs — the searcher's candidate sweep. Every
+		// kernel value is kTab[|j−p|], so each row is two strided
+		// table walks with no per-element kernel call; the table was
+		// grown to cover every distance above.
+		ktab := g.kTab
+		for i, xi := range g.xs {
+			row := b[i*m : i*m+m]
+			p := int(xi) - x0
+			down := p // row[j] = ktab[p−j] for j < p
+			if down > m {
+				down = m
+			}
+			for j := 0; j < down; j++ {
+				row[j] = ktab[p-j]
+			}
+			if p < m {
+				up := p // row[j] = ktab[j−p] for j ≥ p
+				if up < 0 {
+					up = 0
+				}
+				copy(row[up:], ktab[up-p:m-p])
+			}
+			linalg.AxpyInto(means, row, g.alpha[i])
+		}
+	} else {
+		for i, xi := range g.xs {
+			ai := g.alpha[i]
+			row := b[i*m : i*m+m]
+			for j, x := range xs {
+				kv := g.kernel(x, xi)
+				row[j] = kv
+				means[j] += kv * ai
+			}
+		}
+	}
+	// One forward solve for all points: column j becomes Predict's v.
+	g.chol.SolveLowerBatchInto(b, m)
+	// stds[j] accumulates Σᵢ vᵢ² in ascending-i order, matching
+	// linalg.Dot(v, v).
+	for j := range stds {
+		stds[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		linalg.AddSqInto(stds, b[i*m:i*m+m])
+	}
+	for j := range stds {
+		varStar := g.SignalVar - stds[j]
+		if varStar < 0 {
+			varStar = 0
+		}
+		means[j] = means[j]*g.stdY + g.meanY
+		stds[j] = math.Sqrt(varStar) * g.stdY
+	}
 }
 
 // LogMarginalLikelihood returns the log evidence of the fitted model,

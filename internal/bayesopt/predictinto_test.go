@@ -1,0 +1,175 @@
+package bayesopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkPredictIntoMatches pins PredictInto bitwise-equal to a Predict
+// loop over the same grid: the batched sweep must be the same
+// arithmetic in the same order, not merely close — reproduce's
+// byte-identical output depends on it.
+func checkPredictIntoMatches(t *testing.T, gp *GP, grid []float64, stage string) {
+	t.Helper()
+	m := len(grid)
+	means := make([]float64, m)
+	stds := make([]float64, m)
+	gp.PredictInto(grid, means, stds)
+	for j, x := range grid {
+		mu, sd := gp.Predict(x)
+		if math.Float64bits(mu) != math.Float64bits(means[j]) {
+			t.Fatalf("%s: mean[%d] (x=%v) = %v, Predict %v (not bit-identical)", stage, j, x, means[j], mu)
+		}
+		if math.Float64bits(sd) != math.Float64bits(stds[j]) {
+			t.Fatalf("%s: std[%d] (x=%v) = %v, Predict %v (not bit-identical)", stage, j, x, stds[j], sd)
+		}
+	}
+}
+
+// TestPredictIntoMatchesPredict drives a GP through every fit path the
+// searcher exercises — fresh refactor fits, incremental AppendRow fits
+// while the window grows, and sliding DropFirst fits once it is full —
+// and checks the batched sweep against scalar Predict after each fit.
+// Both integer grids (the kernel-table fast path) and fractional grids
+// (the generic path) are pinned.
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const window = 12
+
+	intGrid := make([]float64, 32)
+	fracGrid := make([]float64, 17)
+	for i := range intGrid {
+		intGrid[i] = float64(i + 1)
+	}
+	for i := range fracGrid {
+		fracGrid[i] = 0.75 + 2.3*float64(i)
+	}
+
+	t.Run("fresh", func(t *testing.T) {
+		gp := NewGP(3, 1, 0.02)
+		for n := 1; n <= window; n += 3 {
+			xs := make([]float64, n)
+			ys := make([]float64, n)
+			for i := range xs {
+				// Shuffled integer inputs: a fresh refactor each call
+				// (the previous window is not a prefix).
+				xs[i] = float64(1 + rng.Intn(32))
+				ys[i] = rng.NormFloat64()
+			}
+			if err := gp.Fit(xs, ys); err != nil {
+				t.Fatal(err)
+			}
+			checkPredictIntoMatches(t, gp, intGrid, "fresh int grid")
+			checkPredictIntoMatches(t, gp, fracGrid, "fresh frac grid")
+		}
+	})
+
+	t.Run("append", func(t *testing.T) {
+		gp := NewGP(3, 1, 0.02)
+		var xs, ys []float64
+		for n := 1; n <= window; n++ {
+			// Extends the previous window by one: the AppendRow path.
+			xs = append(xs, float64(1+rng.Intn(32)))
+			ys = append(ys, rng.NormFloat64())
+			if err := gp.Fit(xs, ys); err != nil {
+				t.Fatal(err)
+			}
+			checkPredictIntoMatches(t, gp, intGrid, "append int grid")
+			checkPredictIntoMatches(t, gp, fracGrid, "append frac grid")
+		}
+	})
+
+	t.Run("slide", func(t *testing.T) {
+		gp := NewGP(3, 1, 0.02)
+		xs := make([]float64, window)
+		ys := make([]float64, window)
+		for i := range xs {
+			xs[i] = float64(1 + rng.Intn(32))
+			ys[i] = rng.NormFloat64()
+		}
+		if err := gp.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 2*window; step++ {
+			// Slides the full window by one: the DropFirst path.
+			copy(xs, xs[1:])
+			copy(ys, ys[1:])
+			xs[window-1] = float64(1 + rng.Intn(32))
+			ys[window-1] = rng.NormFloat64()
+			if err := gp.Fit(xs, ys); err != nil {
+				t.Fatal(err)
+			}
+			checkPredictIntoMatches(t, gp, intGrid, "slide int grid")
+			checkPredictIntoMatches(t, gp, fracGrid, "slide frac grid")
+		}
+	})
+
+	t.Run("fractional-inputs", func(t *testing.T) {
+		// Non-integral training inputs defeat the kernel table on the
+		// training side as well; the generic build path must match too.
+		gp := NewGP(1.7, 1, 0.02)
+		xs := make([]float64, window)
+		ys := make([]float64, window)
+		for i := range xs {
+			xs[i] = rng.Float64() * 32
+			ys[i] = rng.NormFloat64()
+		}
+		if err := gp.Fit(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+		checkPredictIntoMatches(t, gp, intGrid, "fractional-inputs int grid")
+		checkPredictIntoMatches(t, gp, fracGrid, "fractional-inputs frac grid")
+	})
+}
+
+// TestProposeSweepMatchesPropose pins the sweep-scoring decision path
+// against the scalar Propose path: same GP, same state, same rng seed
+// must pick the same point, because ProposeSweep's shared-transcendental
+// scoring is the same arithmetic Score evaluates point by point.
+func TestProposeSweepMatchesPropose(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const lo, hi = 1, 32
+	m := hi - lo + 1
+
+	gp := NewGP(3, 1, 0.02)
+	xs := make([]float64, 15)
+	ys := make([]float64, 15)
+	for i := range xs {
+		xs[i] = float64(1 + rng.Intn(hi))
+		ys[i] = rng.NormFloat64() * 5
+	}
+	if err := gp.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	best := -1.0
+	for _, y := range ys {
+		if y > best {
+			best = y
+		}
+	}
+
+	grid := make([]float64, m)
+	for i := range grid {
+		grid[i] = float64(lo + i)
+	}
+	means := make([]float64, m)
+	stds := make([]float64, m)
+
+	hA := NewHedge(DefaultPortfolio(), 0.5, rand.New(rand.NewSource(77)))
+	hB := NewHedge(DefaultPortfolio(), 0.5, rand.New(rand.NewSource(77)))
+	for round := 0; round < 20; round++ {
+		a := hA.Propose(gp, lo, hi, best)
+		gp.PredictInto(grid, means, stds)
+		b := hB.ProposeSweep(gp, lo, best, means, stds)
+		if a != b {
+			t.Fatalf("round %d: Propose picked %d, ProposeSweep picked %d", round, a, b)
+		}
+		ga, gb := hA.Gains(), hB.Gains()
+		for i := range ga {
+			if math.Float64bits(ga[i]) != math.Float64bits(gb[i]) {
+				t.Fatalf("round %d: gains[%d] diverged: %v vs %v", round, i, ga[i], gb[i])
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/linalg"
 	"repro/internal/optimizer"
 )
 
@@ -31,6 +32,14 @@ type Search struct {
 	xs    []float64
 	ys    []float64
 	seen  int
+
+	// Batched decision-path buffers: the integer candidate grid
+	// [1, MaxN] and the posterior sweep over it. One set, owned here,
+	// shared by whichever length-scale candidate wins model selection —
+	// the steady-state decision allocates nothing.
+	grid  []float64
+	means []float64
+	stds  []float64
 }
 
 var _ optimizer.Search = (*Search)(nil)
@@ -89,10 +98,46 @@ func (s *Search) Next(obs optimizer.Observation) int {
 			best = y
 		}
 	}
-	// Standardised "best" consistent with Score inputs: Predict returns
-	// original units, so pass best in original units too.
-	n := s.hedge.Propose(s.gp, 1, s.MaxN, best)
-	return n
+	// Standardised "best" consistent with Score inputs: the posterior
+	// sweep is in original units, so pass best in original units too.
+	// One batched PredictInto over the whole grid replaces MaxN scalar
+	// Predict calls; the portfolio then scores every acquisition from
+	// this single (mean, std) sweep.
+	s.ensureSweepBuffers()
+	s.gp.PredictInto(s.grid, s.means, s.stds)
+	return s.hedge.ProposeSweep(s.gp, 1, best, s.means, s.stds)
+}
+
+// ensureSweepBuffers sizes the candidate grid and sweep buffers to the
+// current MaxN (ablations mutate it between calls).
+func (s *Search) ensureSweepBuffers() {
+	if len(s.grid) == s.MaxN {
+		return
+	}
+	s.grid = make([]float64, s.MaxN)
+	for i := range s.grid {
+		s.grid[i] = float64(i + 1)
+	}
+	s.means = make([]float64, s.MaxN)
+	s.stds = make([]float64, s.MaxN)
+}
+
+// PosteriorSweep writes the fitted surrogate's posterior over the
+// integer grid [1, MaxN] into means and stds (each must have length
+// MaxN) and reports whether a fitted surrogate exists yet. It exposes
+// the batched decision-path primitive to callers above the optimizer
+// interface — a multi-agent server can amortise one sweep across its
+// own scoring instead of issuing MaxN scalar Predicts.
+func (s *Search) PosteriorSweep(means, stds []float64) bool {
+	if s.gp == nil || !s.gp.Fitted() {
+		return false
+	}
+	if len(means) != s.MaxN || len(stds) != s.MaxN {
+		panic(fmt.Sprintf("bayesopt: PosteriorSweep lengths %d,%d != MaxN %d", len(means), len(stds), s.MaxN))
+	}
+	s.ensureSweepBuffers()
+	s.gp.PredictInto(s.grid, means, stds)
+	return true
 }
 
 // fitWithModelSelection refits the surrogate, choosing the kernel
@@ -100,17 +145,50 @@ func (s *Search) Next(obs optimizer.Observation) int {
 // hyperparameter tuning §3.2 delegates to the BO layer. Each grid
 // point is a persistent GP whose hyperparameters never change, so
 // every refit takes the incremental O(n²) Cholesky path and the winner
-// is already fitted — no final refit needed.
+// is already fitted — no final refit needed. With the usual three
+// candidates, the factors are prepared first and the three alpha
+// solves run as one interleaved pass (linalg.SolveInto3): each
+// candidate's solve is a sequential dependency chain, and overlapping
+// the three chains hides most of that latency. Per candidate the
+// arithmetic is identical to a plain Fit.
 func (s *Search) fitWithModelSelection() error {
 	bestLML := math.Inf(-1)
 	var bestGP *GP
-	for _, g := range s.cands {
-		if err := g.Fit(s.xs, s.ys); err != nil {
-			continue
+	if len(s.cands) == 3 {
+		c0, c1, c2 := s.cands[0], s.cands[1], s.cands[2]
+		ok := [3]bool{
+			c0.fitPrepare(s.xs, s.ys) == nil,
+			c1.fitPrepare(s.xs, s.ys) == nil,
+			c2.fitPrepare(s.xs, s.ys) == nil,
 		}
-		if lml := g.LogMarginalLikelihood(); lml > bestLML {
-			bestLML = lml
-			bestGP = g
+		if ok[0] && ok[1] && ok[2] {
+			linalg.SolveInto3(c0.chol, c1.chol, c2.chol,
+				c0.alpha, c0.yStd, c1.alpha, c1.yStd, c2.alpha, c2.yStd)
+		} else {
+			for i, g := range s.cands {
+				if ok[i] {
+					g.solveAlpha()
+				}
+			}
+		}
+		for i, g := range s.cands {
+			if !ok[i] {
+				continue
+			}
+			if lml := g.LogMarginalLikelihood(); lml > bestLML {
+				bestLML = lml
+				bestGP = g
+			}
+		}
+	} else {
+		for _, g := range s.cands {
+			if err := g.Fit(s.xs, s.ys); err != nil {
+				continue
+			}
+			if lml := g.LogMarginalLikelihood(); lml > bestLML {
+				bestLML = lml
+				bestGP = g
+			}
 		}
 	}
 	if bestGP == nil {
@@ -163,6 +241,13 @@ type Hedge struct {
 	lastNominees []int
 	weights      []float64
 	hasNominees  bool
+
+	// stats shares per-point transcendental work across the portfolio
+	// when scoring a sweep; muBuf/sdBuf are Propose's scalar-path
+	// scratch for building one.
+	stats sweepStats
+	muBuf []float64
+	sdBuf []float64
 }
 
 // NewHedge builds a portfolio with learning rate eta. It panics on an
@@ -185,8 +270,36 @@ func NewHedge(acqs []Acquisition, eta float64, rng *rand.Rand) *Hedge {
 }
 
 // Propose returns the next integer point in [lo, hi] chosen by the
-// portfolio against the fitted GP.
+// portfolio against the fitted GP. It is the scalar-path entry: it
+// evaluates the posterior point by point and delegates to
+// ProposeSweep, so both paths share one scoring implementation.
 func (h *Hedge) Propose(gp *GP, lo, hi int, best float64) int {
+	m := hi - lo + 1
+	if m < 0 {
+		m = 0
+	}
+	if cap(h.muBuf) < m {
+		h.muBuf = make([]float64, m)
+		h.sdBuf = make([]float64, m)
+	}
+	mus, sds := h.muBuf[:m], h.sdBuf[:m]
+	for x := lo; x <= hi; x++ {
+		mus[x-lo], sds[x-lo] = gp.Predict(float64(x))
+	}
+	return h.ProposeSweep(gp, lo, best, mus, sds)
+}
+
+// ProposeSweep returns the next integer point in [lo, lo+len(means)−1]
+// chosen by the portfolio from a precomputed posterior sweep: means[j]
+// and stds[j] are the posterior at integer point lo+j, as produced by
+// GP.PredictInto over the candidate grid. The gp is consulted only for
+// last-round nominees that fall outside the sweep (the domain shrank
+// between rounds); everything else — gain updates, every acquisition's
+// argmax — reads the sweep, with transcendentals shared across
+// acquisitions via sweepStats. Selection is bitwise identical to the
+// scalar path: same scores, same first-strict-max tie-breaking over x
+// ascending.
+func (h *Hedge) ProposeSweep(gp *GP, lo int, best float64, means, stds []float64) int {
 	// Update gains with the posterior means at last round's nominees —
 	// the Hedge reward signal, normalised by the observed utility scale
 	// so units cannot destabilise the weights.
@@ -196,27 +309,28 @@ func (h *Hedge) Propose(gp *GP, lo, hi int, best float64) int {
 	}
 	if h.hasNominees {
 		for i, x := range h.lastNominees {
-			mu, _ := gp.Predict(float64(x))
+			var mu float64
+			if j := x - lo; j >= 0 && j < len(means) {
+				mu = means[j]
+			} else {
+				mu, _ = gp.Predict(float64(x))
+			}
 			h.gains[i] += math.Tanh(mu / scale)
 		}
 	}
 
-	// Each acquisition nominates its argmax over the integer grid. The
+	// Each acquisition nominates its argmax over the sweep. The
 	// previous nominees were consumed above, so their slice is reused.
-	// One posterior evaluation per grid point serves every acquisition.
+	h.stats.reset(means, stds, best)
 	nominees := h.lastNominees[:len(h.acqs)]
-	scores := h.weights[:len(h.acqs)]
-	for i := range scores {
-		scores[i] = math.Inf(-1)
-		nominees[i] = lo
-	}
-	for x := lo; x <= hi; x++ {
-		mu, sd := gp.Predict(float64(x))
-		for i, a := range h.acqs {
-			if sc := a.Score(mu, sd, best); sc > scores[i] {
-				scores[i], nominees[i] = sc, x
-			}
+	for i, a := range h.acqs {
+		var j int
+		if ss, ok := a.(sweepScorer); ok {
+			j = ss.argmaxSweep(&h.stats)
+		} else {
+			j = argmaxScore(a, means, stds, best)
 		}
+		nominees[i] = lo + j
 	}
 	h.lastNominees = nominees
 	h.hasNominees = true

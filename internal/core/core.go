@@ -167,6 +167,28 @@ func (a *Agent) History() []Decision {
 	return append([]Decision(nil), a.history...)
 }
 
+// posteriorSweeper is the optional batched-posterior capability a
+// search algorithm can provide (bayesopt.Search does): one call fills
+// the whole candidate grid instead of one scalar predict per point.
+type posteriorSweeper interface {
+	PosteriorSweep(means, stds []float64) bool
+}
+
+// PosteriorSweep writes the agent's surrogate posterior over its
+// candidate grid into means and stds (each sized to the grid, e.g.
+// maxN for a BO agent) and reports whether a posterior exists. It
+// returns false for agents whose search has no surrogate (hill
+// climbing, gradient descent) and before the BO agent's first fit.
+// Multi-agent servers use it to amortise one batched sweep per agent
+// per epoch instead of issuing per-point predictions.
+func (a *Agent) PosteriorSweep(means, stds []float64) bool {
+	ps, ok := a.search.(posteriorSweeper)
+	if !ok {
+		return false
+	}
+	return ps.PosteriorSweep(means, stds)
+}
+
 // MultiAgent tunes concurrency, parallelism, and pipelining together
 // (§4.4, "Falcon_MP") using the Eq 7 utility and a conjugate-gradient
 // vector search. It satisfies testbed.Controller.

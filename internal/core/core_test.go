@@ -82,6 +82,39 @@ func TestAgentRecordsHistory(t *testing.T) {
 	}
 }
 
+func TestAgentPosteriorSweep(t *testing.T) {
+	const maxN = 16
+	bo := NewBOAgent(maxN, 3)
+	means := make([]float64, maxN)
+	stds := make([]float64, maxN)
+
+	// No surrogate before the BO search's first fit (random phase).
+	if bo.PosteriorSweep(means, stds) {
+		t.Fatal("PosteriorSweep reported a posterior before any fit")
+	}
+	n := 2
+	for i := 0; i < 10; i++ {
+		set := bo.Decide(transfer.Sample{
+			Setting:  transfer.Setting{Concurrency: n, Parallelism: 1, Pipelining: 1},
+			Duration: 3, Throughput: float64(1+n%5) * 1e8,
+		})
+		n = set.Concurrency
+	}
+	if !bo.PosteriorSweep(means, stds) {
+		t.Fatal("PosteriorSweep reported no posterior after 10 decisions")
+	}
+	for j := range means {
+		if math.IsNaN(means[j]) || math.IsNaN(stds[j]) || stds[j] < 0 {
+			t.Fatalf("grid point %d: invalid posterior (mean %v, std %v)", j+1, means[j], stds[j])
+		}
+	}
+
+	// Searches without a surrogate simply decline.
+	if NewGDAgent(maxN).PosteriorSweep(means, stds) {
+		t.Fatal("gradient-descent agent claimed a posterior sweep")
+	}
+}
+
 func TestNewMultiAgentValidation(t *testing.T) {
 	if _, err := NewMultiAgent(nil, utility.DefaultParams()); err == nil {
 		t.Error("nil search accepted")

@@ -67,15 +67,18 @@ func (c *Chol) AppendRow(row []float64) error {
 	}
 	base := len(c.data)
 	c.data = append(c.data, row...)
-	out := c.data[base:]
+	out := c.data[base : base+n+1]
+	data := c.data
 	// Forward-substitute: L[n][j] = (A[n][j] − Σ_{k<j} L[n][k]·L[j][k]) / L[j][j].
+	joff := 0 // j*(j+1)/2, advanced incrementally
 	for j := 0; j < n; j++ {
-		lrow := c.data[j*(j+1)/2:]
+		lrow := data[joff : joff+j+1]
 		s := out[j]
 		for k := 0; k < j; k++ {
 			s -= out[k] * lrow[k]
 		}
 		out[j] = s / lrow[j]
+		joff += j + 1
 	}
 	d := out[n]
 	for k := 0; k < n; k++ {
@@ -122,18 +125,23 @@ func (c *Chol) DropFirst() {
 	c.n = n
 	c.data = c.data[:n*(n+1)/2]
 	// Rank-1 update: L22·L22ᵀ += x·xᵀ column by column.
+	data := c.data
+	doff := 0 // k*(k+1)/2, advanced incrementally
 	for k := 0; k < n; k++ {
-		diag := c.data[k*(k+1)/2+k]
+		diag := data[doff+k]
 		r := math.Hypot(diag, x[k])
 		cos := r / diag
 		sin := x[k] / diag
-		c.data[k*(k+1)/2+k] = r
+		data[doff+k] = r
+		off := doff + 2*k + 1 // (k+1)*(k+2)/2 + k: column k entry of row k+1
 		for i := k + 1; i < n; i++ {
-			v := c.data[i*(i+1)/2+k]
+			v := data[off]
 			v = (v + sin*x[i]) / cos
-			c.data[i*(i+1)/2+k] = v
+			data[off] = v
 			x[i] = cos*x[i] - sin*v
+			off += i + 1
 		}
+		doff += k + 1
 	}
 }
 
@@ -144,13 +152,16 @@ func (c *Chol) SolveLowerInto(x, b []float64) {
 	if len(b) != n || len(x) != n {
 		panic(fmt.Sprintf("linalg: SolveLowerInto lengths %d,%d != %d", len(x), len(b), n))
 	}
+	data := c.data
+	ioff := 0 // i*(i+1)/2, advanced incrementally
 	for i := 0; i < n; i++ {
-		row := c.data[i*(i+1)/2:]
+		row := data[ioff : ioff+i+1]
 		s := b[i]
 		for k := 0; k < i; k++ {
 			s -= row[k] * x[k]
 		}
 		x[i] = s / row[i]
+		ioff += i + 1
 	}
 }
 
@@ -159,12 +170,68 @@ func (c *Chol) SolveLowerInto(x, b []float64) {
 func (c *Chol) SolveInto(x, b []float64) {
 	n := c.n
 	c.SolveLowerInto(x, b)
+	data := c.data
+	doff := n*(n+1)/2 - 1 // i*(i+1)/2 + i for i = n-1, decremented incrementally
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
+		off := doff + i + 1 // k*(k+1)/2 + i for k = i+1
 		for k := i + 1; k < n; k++ {
-			s -= c.data[k*(k+1)/2+i] * x[k]
+			s -= data[off] * x[k]
+			off += k + 1
 		}
-		x[i] = s / c.data[i*(i+1)/2+i]
+		x[i] = s / data[doff]
+		doff -= i + 1
+	}
+}
+
+// SolveInto3 runs three independent SolveInto solves — one per factor,
+// which must share a dimension — with their loops interleaved. Each
+// stream performs exactly the operations its own SolveInto would, in
+// the same order, so results are bitwise identical; interleaving only
+// overlaps the three sequential dependency chains (each forward or
+// backward step waits on the previous row's divide), which is where a
+// lone triangular solve stalls. The GP model-selection refit, which
+// solves one alpha per length-scale candidate per decision, is the
+// intended caller.
+func SolveInto3(c0, c1, c2 *Chol, x0, b0, x1, b1, x2, b2 []float64) {
+	n := c0.n
+	if c1.n != n || c2.n != n {
+		panic(fmt.Sprintf("linalg: SolveInto3 sizes %d,%d,%d differ", c0.n, c1.n, c2.n))
+	}
+	if len(x0) != n || len(b0) != n || len(x1) != n || len(b1) != n || len(x2) != n || len(b2) != n {
+		panic("linalg: SolveInto3 length mismatch")
+	}
+	d0, d1, d2 := c0.data, c1.data, c2.data
+	ioff := 0
+	for i := 0; i < n; i++ {
+		r0 := d0[ioff : ioff+i+1]
+		r1 := d1[ioff : ioff+i+1]
+		r2 := d2[ioff : ioff+i+1]
+		s0, s1, s2 := b0[i], b1[i], b2[i]
+		for k := 0; k < i; k++ {
+			s0 -= r0[k] * x0[k]
+			s1 -= r1[k] * x1[k]
+			s2 -= r2[k] * x2[k]
+		}
+		x0[i] = s0 / r0[i]
+		x1[i] = s1 / r1[i]
+		x2[i] = s2 / r2[i]
+		ioff += i + 1
+	}
+	doff := n*(n+1)/2 - 1
+	for i := n - 1; i >= 0; i-- {
+		s0, s1, s2 := x0[i], x1[i], x2[i]
+		off := doff + i + 1
+		for k := i + 1; k < n; k++ {
+			s0 -= d0[off] * x0[k]
+			s1 -= d1[off] * x1[k]
+			s2 -= d2[off] * x2[k]
+			off += k + 1
+		}
+		x0[i] = s0 / d0[doff]
+		x1[i] = s1 / d1[doff]
+		x2[i] = s2 / d2[doff]
+		doff -= i + 1
 	}
 }
 

@@ -1,0 +1,95 @@
+package linalg
+
+import "fmt"
+
+// SolveLowerBatchInto solves L·X = B by forward substitution for m
+// right-hand sides at once, in place. b holds B in row-major "i-major"
+// layout: b[i*m+c] is row i of column c, so the m right-hand sides are
+// interleaved and each substitution step streams contiguous memory.
+//
+// Per column the arithmetic is exactly SolveLowerInto's — the same
+// multiplies, subtracts and divides in the same order — so batch and
+// scalar solves are bitwise identical; batching only amortises the
+// factor traversal (each L entry is loaded once for all m columns
+// instead of once per column). The GP candidate sweep depends on this
+// equivalence to keep reproduce output byte-identical.
+func (c *Chol) SolveLowerBatchInto(b []float64, m int) {
+	n := c.n
+	if m < 0 {
+		panic(fmt.Sprintf("linalg: SolveLowerBatchInto m %d < 0", m))
+	}
+	if len(b) != n*m {
+		panic(fmt.Sprintf("linalg: SolveLowerBatchInto length %d != %d*%d", len(b), n, m))
+	}
+	if n == 0 || m == 0 {
+		return
+	}
+	if useBatchAVX2 && m >= 4 {
+		solveLowerBatchAVX2(&c.data[0], &b[0], n, m)
+		return
+	}
+	solveLowerBatchGeneric(c.data, b, n, m)
+}
+
+// AxpyInto adds a·src into dst elementwise: dst[i] += a·src[i]. The
+// vector kernel multiplies and adds with separate individually rounded
+// instructions (no FMA), so it is bitwise identical to the scalar
+// loop.
+func AxpyInto(dst, src []float64, a float64) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("linalg: AxpyInto lengths %d != %d", len(dst), len(src)))
+	}
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	if useBatchAVX2 && n >= 4 {
+		axpyAVX2(&dst[0], &src[0], n, a)
+		return
+	}
+	for i, v := range src {
+		dst[i] += a * v
+	}
+}
+
+// AddSqInto adds src² into dst elementwise: dst[i] += src[i]·src[i],
+// with the same bitwise guarantee as AxpyInto.
+func AddSqInto(dst, src []float64) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("linalg: AddSqInto lengths %d != %d", len(dst), len(src)))
+	}
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	if useBatchAVX2 && n >= 4 {
+		addSqAVX2(&dst[0], &src[0], n)
+		return
+	}
+	for i, v := range src {
+		dst[i] += v * v
+	}
+}
+
+// solveLowerBatchGeneric is the portable batch forward substitution.
+// The assembly kernel must match it bitwise (multiply, subtract and
+// divide are individually rounded in both).
+func solveLowerBatchGeneric(l, b []float64, n, m int) {
+	off := 0 // i*(i+1)/2, advanced incrementally
+	for i := 0; i < n; i++ {
+		row := l[off : off+i+1]
+		bi := b[i*m : i*m+m]
+		for k := 0; k < i; k++ {
+			lik := row[k]
+			bk := b[k*m : k*m+m]
+			for cc, v := range bk {
+				bi[cc] -= lik * v
+			}
+		}
+		d := row[i]
+		for cc := range bi {
+			bi[cc] /= d
+		}
+		off += i + 1
+	}
+}

@@ -1,0 +1,35 @@
+//go:build amd64 && !purego
+
+package linalg
+
+// useBatchAVX2 gates the vectorised batch forward-substitution kernel.
+// The kernel uses only VMULPD/VSUBPD/VDIVPD — no FMA — so every lane
+// performs the same individually rounded IEEE-754 operations as the
+// scalar loop and the results are bitwise identical; AVX2 is required
+// only for the 256-bit integer-free dataflow being profitable.
+var useBatchAVX2 = hasAVX2()
+
+// hasAVX2 reports CPU and OS support for 256-bit AVX2 execution
+// (CPUID OSXSAVE+AVX, XCR0 XMM+YMM state, CPUID.7 AVX2).
+// Implemented in solvebatch_amd64.s.
+func hasAVX2() bool
+
+// solveLowerBatchAVX2 is the assembly batch forward substitution over
+// the packed lower triangle at l and the n×m i-major right-hand-side
+// block at b. Requires n ≥ 1, m ≥ 1 and useBatchAVX2.
+// Implemented in solvebatch_amd64.s.
+//
+//go:noescape
+func solveLowerBatchAVX2(l *float64, b *float64, n, m int)
+
+// axpyAVX2 computes dst[i] += a·src[i] with VMULPD/VADDPD (no FMA).
+// Implemented in solvebatch_amd64.s.
+//
+//go:noescape
+func axpyAVX2(dst, src *float64, n int, a float64)
+
+// addSqAVX2 computes dst[i] += src[i]·src[i] with VMULPD/VADDPD.
+// Implemented in solvebatch_amd64.s.
+//
+//go:noescape
+func addSqAVX2(dst, src *float64, n int)

@@ -1,0 +1,304 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func hasAVX2() bool
+//
+// CPUID feature probe: max leaf >= 7, CPUID.1:ECX OSXSAVE(27)+AVX(28),
+// XCR0 low bits 0x6 (XMM+YMM state enabled by the OS), CPUID.7:EBX
+// AVX2(5).
+TEXT ·hasAVX2(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  novec
+	MOVL $1, AX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  novec
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  novec
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1 << 5), BX
+	JZ   novec
+	MOVB $1, ret+0(FP)
+	RET
+
+novec:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func solveLowerBatchAVX2(l *float64, b *float64, n, m int)
+//
+// Forward substitution over the packed lower triangle at l for m
+// interleaved right-hand sides (i-major: b[i*m+c]). Uses only
+// VMULPD/VSUBPD/VDIVPD (no FMA), so each lane's arithmetic is bitwise
+// identical to solveLowerBatchGeneric's scalar loop: per column the
+// updates apply in ascending-k order followed by one divide, exactly
+// the scalar sequence, and the scalar tail uses MULSD/SUBSD/DIVSD,
+// which round the same way.
+//
+// The column loop is blocked so a 16-, 8-, or 4-column slice of row i
+// lives in ymm accumulators across the whole k loop — row i is loaded
+// and stored once per block instead of once per (k, block), and the
+// four independent accumulator chains hide the VSUBPD latency.
+//
+// Register plan:
+//	SI = l base     DI = b base     CX = n       R8 = m (elements)
+//	R9 = packed offset of row i     R10 = i      R11 = c (column)
+//	R12 = &b[i*m]   R13 = &b[i*m+c] R14 = &b[k*m+c] (steps R15 = 8m)
+//	BX = &l[off+k]  DX = k / remaining-column scratch   AX = scratch
+TEXT ·solveLowerBatchAVX2(SB), NOSPLIT, $0-32
+	MOVQ l+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	MOVQ m+24(FP), R8
+	MOVQ R8, R15
+	SHLQ $3, R15
+	XORQ R9, R9
+	XORQ R10, R10
+
+loop_i:
+	CMPQ R10, CX
+	JGE  done
+	MOVQ R10, AX
+	IMULQ R8, AX
+	LEAQ (DI)(AX*8), R12
+	XORQ R11, R11
+
+col16:
+	MOVQ R8, DX
+	SUBQ R11, DX
+	CMPQ DX, $16
+	JLT  col8
+	LEAQ (R12)(R11*8), R13
+	VMOVUPD (R13), Y2
+	VMOVUPD 32(R13), Y3
+	VMOVUPD 64(R13), Y5
+	VMOVUPD 96(R13), Y6
+	LEAQ (SI)(R9*8), BX
+	LEAQ (DI)(R11*8), R14
+	XORQ DX, DX
+
+k16:
+	CMPQ DX, R10
+	JGE  k16_done
+	VBROADCASTSD (BX), Y0
+	VMOVUPD (R14), Y1
+	VMULPD  Y0, Y1, Y1
+	VSUBPD  Y1, Y2, Y2
+	VMOVUPD 32(R14), Y4
+	VMULPD  Y0, Y4, Y4
+	VSUBPD  Y4, Y3, Y3
+	VMOVUPD 64(R14), Y7
+	VMULPD  Y0, Y7, Y7
+	VSUBPD  Y7, Y5, Y5
+	VMOVUPD 96(R14), Y8
+	VMULPD  Y0, Y8, Y8
+	VSUBPD  Y8, Y6, Y6
+	ADDQ $8, BX
+	ADDQ R15, R14
+	INCQ DX
+	JMP  k16
+
+k16_done:
+	// BX has walked to &l[off+i]: the diagonal.
+	VBROADCASTSD (BX), Y0
+	VDIVPD Y0, Y2, Y2
+	VDIVPD Y0, Y3, Y3
+	VDIVPD Y0, Y5, Y5
+	VDIVPD Y0, Y6, Y6
+	VMOVUPD Y2, (R13)
+	VMOVUPD Y3, 32(R13)
+	VMOVUPD Y5, 64(R13)
+	VMOVUPD Y6, 96(R13)
+	ADDQ $16, R11
+	JMP  col16
+
+col8:
+	CMPQ DX, $8
+	JLT  col4
+	LEAQ (R12)(R11*8), R13
+	VMOVUPD (R13), Y2
+	VMOVUPD 32(R13), Y3
+	LEAQ (SI)(R9*8), BX
+	LEAQ (DI)(R11*8), R14
+	XORQ DX, DX
+
+k8:
+	CMPQ DX, R10
+	JGE  k8_done
+	VBROADCASTSD (BX), Y0
+	VMOVUPD (R14), Y1
+	VMULPD  Y0, Y1, Y1
+	VSUBPD  Y1, Y2, Y2
+	VMOVUPD 32(R14), Y4
+	VMULPD  Y0, Y4, Y4
+	VSUBPD  Y4, Y3, Y3
+	ADDQ $8, BX
+	ADDQ R15, R14
+	INCQ DX
+	JMP  k8
+
+k8_done:
+	VBROADCASTSD (BX), Y0
+	VDIVPD Y0, Y2, Y2
+	VDIVPD Y0, Y3, Y3
+	VMOVUPD Y2, (R13)
+	VMOVUPD Y3, 32(R13)
+	ADDQ $8, R11
+	MOVQ R8, DX
+	SUBQ R11, DX
+
+col4:
+	CMPQ DX, $4
+	JLT  col1
+	LEAQ (R12)(R11*8), R13
+	VMOVUPD (R13), Y2
+	LEAQ (SI)(R9*8), BX
+	LEAQ (DI)(R11*8), R14
+	XORQ DX, DX
+
+k4:
+	CMPQ DX, R10
+	JGE  k4_done
+	VBROADCASTSD (BX), Y0
+	VMOVUPD (R14), Y1
+	VMULPD  Y0, Y1, Y1
+	VSUBPD  Y1, Y2, Y2
+	ADDQ $8, BX
+	ADDQ R15, R14
+	INCQ DX
+	JMP  k4
+
+k4_done:
+	VBROADCASTSD (BX), Y0
+	VDIVPD Y0, Y2, Y2
+	VMOVUPD Y2, (R13)
+	ADDQ $4, R11
+	MOVQ R8, DX
+	SUBQ R11, DX
+	JMP  col4
+
+col1:
+	CMPQ R11, R8
+	JGE  advance
+	LEAQ (R12)(R11*8), R13
+	MOVSD (R13), X2
+	LEAQ (SI)(R9*8), BX
+	LEAQ (DI)(R11*8), R14
+	XORQ DX, DX
+
+k1:
+	CMPQ DX, R10
+	JGE  k1_done
+	MOVSD (BX), X0
+	MOVSD (R14), X1
+	MULSD X0, X1
+	SUBSD X1, X2
+	ADDQ  $8, BX
+	ADDQ  R15, R14
+	INCQ  DX
+	JMP   k1
+
+k1_done:
+	MOVSD (BX), X0
+	DIVSD X0, X2
+	MOVSD X2, (R13)
+	INCQ  R11
+	JMP   col1
+
+advance:
+	// off += i+1; i++
+	LEAQ 1(R9)(R10*1), R9
+	INCQ R10
+	JMP  loop_i
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpyAVX2(dst, src *float64, n int, a float64)
+//
+// dst[i] += a*src[i], multiply and add separately rounded (no FMA) so
+// every lane matches the scalar loop bitwise.
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD a+24(FP), Y0
+
+axpy_vec:
+	CMPQ CX, $4
+	JLT  axpy_sc
+	VMOVUPD (SI), Y1
+	VMULPD  Y0, Y1, Y1
+	VMOVUPD (DI), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  axpy_vec
+
+axpy_sc:
+	TESTQ CX, CX
+	JZ    axpy_done
+	MOVSD (SI), X1
+	MULSD X0, X1
+	MOVSD (DI), X2
+	ADDSD X1, X2
+	MOVSD X2, (DI)
+	ADDQ  $8, SI
+	ADDQ  $8, DI
+	DECQ  CX
+	JMP   axpy_sc
+
+axpy_done:
+	VZEROUPPER
+	RET
+
+// func addSqAVX2(dst, src *float64, n int)
+//
+// dst[i] += src[i]*src[i], same rounding guarantee as axpyAVX2.
+TEXT ·addSqAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+sq_vec:
+	CMPQ CX, $4
+	JLT  sq_sc
+	VMOVUPD (SI), Y1
+	VMULPD  Y1, Y1, Y1
+	VMOVUPD (DI), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, CX
+	JMP  sq_vec
+
+sq_sc:
+	TESTQ CX, CX
+	JZ    sq_done
+	MOVSD (SI), X1
+	MULSD X1, X1
+	MOVSD (DI), X2
+	ADDSD X1, X2
+	MOVSD X2, (DI)
+	ADDQ  $8, SI
+	ADDQ  $8, DI
+	DECQ  CX
+	JMP   sq_sc
+
+sq_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,20 @@
+//go:build !amd64 || purego
+
+package linalg
+
+// useBatchAVX2 is false without the amd64 assembly kernel; the batch
+// solve always takes the portable path.
+const useBatchAVX2 = false
+
+// The assembly kernels are never called when useBatchAVX2 is false.
+func solveLowerBatchAVX2(l *float64, b *float64, n, m int) {
+	panic("linalg: solveLowerBatchAVX2 without assembly kernel")
+}
+
+func axpyAVX2(dst, src *float64, n int, a float64) {
+	panic("linalg: axpyAVX2 without assembly kernel")
+}
+
+func addSqAVX2(dst, src *float64, n int) {
+	panic("linalg: addSqAVX2 without assembly kernel")
+}

@@ -1,0 +1,84 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSolveLowerBatchMatchesScalar: the batched forward solve must be
+// bitwise identical to SolveLowerInto run column by column — the GP
+// candidate sweep relies on this to keep reproduce output
+// byte-identical. Exercised across sizes that hit the vector kernel,
+// its scalar tail (m not a multiple of 4), and the generic path
+// (m < 4).
+func TestSolveLowerBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 7, 20} {
+		for _, m := range []int{1, 2, 3, 4, 5, 8, 31, 64} {
+			a := randSPD(n, rng)
+			c := buildChol(t, a)
+			// Column c's right-hand side is rhs[c] spread across rows.
+			b := make([]float64, n*m)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			want := make([]float64, n*m)
+			col := make([]float64, n)
+			rhs := make([]float64, n)
+			for cc := 0; cc < m; cc++ {
+				for i := 0; i < n; i++ {
+					rhs[i] = b[i*m+cc]
+				}
+				c.SolveLowerInto(col, rhs)
+				for i := 0; i < n; i++ {
+					want[i*m+cc] = col[i]
+				}
+			}
+			got := append([]float64(nil), b...)
+			c.SolveLowerBatchInto(got, m)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("n=%d m=%d: batch[%d] = %v, want %v (not bit-identical)", n, m, i, got[i], want[i])
+				}
+			}
+			// The portable loop must agree with whatever kernel
+			// SolveLowerBatchInto dispatched to.
+			gen := append([]float64(nil), b...)
+			solveLowerBatchGeneric(c.data, gen, n, m)
+			for i := range gen {
+				if math.Float64bits(gen[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("n=%d m=%d: generic[%d] = %v, dispatched %v (kernel mismatch)", n, m, i, gen[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSolveLowerBatch64(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 20, 64
+	a := randSPD(n, rng)
+	c := NewChol(n)
+	row := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j <= i; j++ {
+			row = append(row, a.At(i, j))
+		}
+		if err := c.AppendRow(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rhs := make([]float64, n*m)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	buf := make([]float64, n*m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, rhs)
+		c.SolveLowerBatchInto(buf, m)
+	}
+}

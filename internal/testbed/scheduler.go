@@ -203,6 +203,21 @@ func (s *Scheduler) Run(until, tick float64) *Timeline {
 					panic(fmt.Sprintf("testbed: session %q: %v", id, err))
 				}
 				e.sess = sess
+				// The horizon fixes how many points this session can
+				// record: one throughput sample per recording interval
+				// and one concurrency/loss point per decision epoch.
+				// Reserving them now keeps the append path in the run
+				// loop allocation-free.
+				end := until
+				if e.p.LeaveAt > 0 && e.p.LeaveAt < end {
+					end = e.p.LeaveAt
+				}
+				if remaining := end - now; remaining > 0 {
+					epochs := int(remaining/e.interval) + 2
+					tl.Throughput.Get(id).Grow(int(remaining/s.record) + 2)
+					tl.Concurrency.Get(id).Grow(epochs)
+					tl.Loss.Get(id).Grow(epochs)
+				}
 				sess.Start(now, e.p.Task.Setting())
 			}
 			if e.sess != nil && !e.sess.Finished() && e.p.LeaveAt > 0 && now >= e.p.LeaveAt {

@@ -37,6 +37,19 @@ func (s *Series) Append(t, v float64) {
 // Len returns the number of points.
 func (s *Series) Len() int { return len(s.Points) }
 
+// Grow ensures capacity for at least n more points without further
+// reallocation. Recorders that know their horizon (a scheduler run of
+// fixed length and sampling cadence) call it once so the append path
+// stays allocation-free.
+func (s *Series) Grow(n int) {
+	if n <= 0 || cap(s.Points)-len(s.Points) >= n {
+		return
+	}
+	pts := make([]Point, len(s.Points), len(s.Points)+n)
+	copy(pts, s.Points)
+	s.Points = pts
+}
+
 // Values returns the values as a slice.
 func (s *Series) Values() []float64 {
 	vs := make([]float64, len(s.Points))

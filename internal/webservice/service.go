@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -113,7 +114,9 @@ type AgentResult struct {
 type Scenario struct {
 	ID      string          `json:"id"`
 	Request ScenarioRequest `json:"request"`
-	// Status is "running", "done", or "failed".
+	// Status is "queued", "running", "done", or "failed". A scenario is
+	// queued between acceptance and admission to the bounded worker
+	// pool.
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
 	// Results are per-agent summaries over the second half of the run.
@@ -132,11 +135,29 @@ type Service struct {
 	store map[string]*Scenario
 	// wg tracks background runs so Close can drain them.
 	wg sync.WaitGroup
+	// sem bounds the number of scenarios simulating at once; accepted
+	// scenarios beyond the limit wait in "queued" until a slot frees.
+	sem chan struct{}
+	// runFn executes one admitted scenario (swapped out by tests).
+	runFn func(*Scenario)
 }
 
-// New returns an empty service.
+// New returns an empty service whose worker pool admits one concurrent
+// scenario per CPU.
 func New() *Service {
-	return &Service{store: make(map[string]*Scenario)}
+	return NewWithLimit(runtime.GOMAXPROCS(0))
+}
+
+// NewWithLimit returns an empty service that simulates at most limit
+// scenarios concurrently (minimum 1). Submissions are never rejected
+// for load: past the limit they queue in acceptance order.
+func NewWithLimit(limit int) *Service {
+	if limit < 1 {
+		limit = 1
+	}
+	s := &Service{store: make(map[string]*Scenario), sem: make(chan struct{}, limit)}
+	s.runFn = s.run
+	return s
 }
 
 // Close waits for in-flight scenario runs to finish.
@@ -184,14 +205,19 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.next++
 	id := fmt.Sprintf("s%04d", s.next)
-	sc := &Scenario{ID: id, Request: req, Status: "running", progress: newProgressTracker()}
+	sc := &Scenario{ID: id, Request: req, Status: "queued", progress: newProgressTracker()}
 	s.store[id] = sc
 	s.mu.Unlock()
 
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.run(sc)
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		s.mu.Lock()
+		sc.Status = "running"
+		s.mu.Unlock()
+		s.runFn(sc)
 	}()
 
 	w.Header().Set("Content-Type", "application/json")

@@ -46,7 +46,7 @@ func waitDone(t *testing.T, base, id string) *Scenario {
 		var sc Scenario
 		json.NewDecoder(resp.Body).Decode(&sc)
 		resp.Body.Close()
-		if sc.Status != "running" {
+		if sc.Status == "done" || sc.Status == "failed" {
 			return &sc
 		}
 		time.Sleep(50 * time.Millisecond)
@@ -97,6 +97,67 @@ func TestMultiAgentScenarioFairness(t *testing.T) {
 	}
 	if sc.JainIndex < 0.9 {
 		t.Fatalf("Jain = %v, want ≥0.9", sc.JainIndex)
+	}
+}
+
+// TestScenarioSubmissionsQueue pins the bounded worker pool: with a
+// pool of one, a second accepted submission must wait in "queued" and
+// only run once the first scenario releases its slot. The run function
+// is swapped for one that blocks on a channel, so admission order is
+// observed deterministically rather than raced.
+func TestScenarioSubmissionsQueue(t *testing.T) {
+	svc := NewWithLimit(1)
+	release := make(chan struct{})
+	started := make(chan string, 2)
+	svc.runFn = func(sc *Scenario) {
+		started <- sc.ID
+		<-release
+		svc.mu.Lock()
+		sc.Status = "done"
+		svc.mu.Unlock()
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	code, first := postScenario(t, ts.URL, `{"testbed":"emulab"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submission status = %d, want 202", code)
+	}
+	code, second := postScenario(t, ts.URL, `{"testbed":"emulab"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("second submission status = %d, want 202 (queueing must not reject)", code)
+	}
+
+	running := <-started
+	if running != first["id"] {
+		t.Fatalf("admitted %q first, want %q", running, first["id"])
+	}
+	// The pool has one slot and its holder is blocked, so the second
+	// scenario cannot have started and must report "queued".
+	select {
+	case id := <-started:
+		t.Fatalf("scenario %q ran past the pool limit", id)
+	default:
+	}
+	status := func(id string) string {
+		svc.mu.Lock()
+		defer svc.mu.Unlock()
+		return svc.store[id].Status
+	}
+	if st := status(second["id"]); st != "queued" {
+		t.Fatalf("second scenario status = %q, want queued", st)
+	}
+	if st := status(first["id"]); st != "running" {
+		t.Fatalf("first scenario status = %q, want running", st)
+	}
+
+	close(release)
+	if id := <-started; id != second["id"] {
+		t.Fatalf("admitted %q after release, want %q", id, second["id"])
+	}
+	svc.Close()
+	if st := status(second["id"]); st != "done" {
+		t.Fatalf("second scenario status = %q after drain, want done", st)
 	}
 }
 
