@@ -128,13 +128,17 @@ func main() {
 
 // requiredBenchmarks are the hot-path benchmarks BENCH_sim.json must
 // always carry: the decision path (Search.Next at the experiments'
-// MaxN=32 domain and the 64-point large domain) and the simulator
-// loop. A rename or accidental deletion fails the run instead of
-// silently dropping the number reviewers track.
+// MaxN=32 domain and the 64-point large domain), the simulator loop,
+// and the fleet-scale allocator (the 1000-flow class water-fill and
+// the 256-task engine tick it feeds). A rename or accidental deletion
+// fails the run instead of silently dropping the number reviewers
+// track.
 var requiredBenchmarks = []string{
 	"BenchmarkSearchNext",
 	"BenchmarkSearchNextLargeDomain",
 	"BenchmarkSchedulerRunMinute",
+	"BenchmarkAllocate1kFlows",
+	"BenchmarkFleetStep",
 }
 
 // checkRequired verifies every required benchmark produced a result.

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hostsim"
+	"repro/internal/iosim"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// FleetConfig parameterizes a fleet-scale contention run: many
+// concurrent Falcon sessions optimizing independently against one
+// shared bottleneck. It is the workload the flow-class aggregated
+// allocator exists for — hundreds of flows collapsing to a handful of
+// classes.
+type FleetConfig struct {
+	// Sessions is the number of concurrent transfer sessions.
+	Sessions int
+	// Duration is the simulated horizon in seconds.
+	Duration float64
+	// Stagger is the join spacing in seconds: session i joins at
+	// i*Stagger, so the fleet ramps up instead of thundering in at t=0.
+	Stagger float64
+	// MaxN bounds each agent's concurrency search domain.
+	MaxN int
+	// Seed is the base seed; session i's agent is seeded Seed+i.
+	Seed int64
+	// Algorithms are cycled across sessions by index. Empty means
+	// the hc/gd/bo mix.
+	Algorithms []string
+}
+
+// withDefaults fills zero fields with the standard fleet shape:
+// 500 sessions for 600 s on one 10 Gbps bottleneck.
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 500
+	}
+	if c.Duration <= 0 {
+		c.Duration = 600
+	}
+	if c.Stagger < 0 {
+		c.Stagger = 0
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 8
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []string{core.AlgoHillClimbing, core.AlgoGradient, core.AlgoBayesian}
+	}
+	return c
+}
+
+// FleetTestbed returns the shared-bottleneck environment for fleet
+// runs: a 10 Gbps WAN-ish path (30 ms RTT) whose storage and hosts are
+// provisioned far above the link, so every session contends for the
+// same network resource. Per-process storage caps are loose enough
+// that the per-connection cap is the stream cap, identical across the
+// fleet — with one parallelism setting in play, every flow lands in a
+// handful of classes regardless of session count.
+func FleetTestbed() testbed.Config {
+	return testbed.Config{
+		Name:           "fleet",
+		SrcStore:       iosim.Store{Name: "fleet-src", PerProcCap: 400e6, AggregateCap: 400e9},
+		DstStore:       iosim.Store{Name: "fleet-dst", PerProcCap: 400e6, AggregateCap: 400e9},
+		SrcHost:        hostsim.DTN("fleet-src", 100e9),
+		DstHost:        hostsim.DTN("fleet-dst", 100e9),
+		LinkCapacity:   10e9,
+		RTT:            0.030,
+		SampleInterval: 3,
+		NoiseStdDev:    0.01,
+		Bottleneck:     "Network",
+	}
+}
+
+// Fleet runs cfg.Sessions concurrent Falcon sessions (HC/GD/BO mix by
+// default) against the shared FleetTestbed bottleneck and reports
+// convergence time, Jain's fairness index, and aggregate throughput.
+//
+// Convergence time is the earliest window start t ≥ the last join at
+// which Jain's index over per-session mean throughputs in [t, t+W]
+// reaches 0.9 (W is a tenth of the horizon, slid in half-window
+// steps). Equilibrium metrics are taken over the final quarter of the
+// run.
+//
+// Fleet is intentionally NOT registered in All(): it is a scale/stress
+// workload driven by cmd/fleet, not a paper figure, and adding it to
+// the registry would change reproduce output.
+func Fleet(cfg FleetConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID: "fleet",
+		Title: fmt.Sprintf("Fleet contention: %d sessions (%s) on one %.0f Gbps bottleneck",
+			cfg.Sessions, strings.Join(cfg.Algorithms, "/"), FleetTestbed().LinkCapacity/1e9),
+		Header: []string{"Algorithm", "Sessions", "Mean per-session (Mbps, equilibrium)", "Jain (within algo)"},
+	}
+
+	parts := make([]testbed.Participant, cfg.Sessions)
+	ids := make([]string, cfg.Sessions)
+	algoOf := make([]string, cfg.Sessions)
+	for i := range parts {
+		algo := cfg.Algorithms[i%len(cfg.Algorithms)]
+		agent, err := core.NewAgentByName(algo, cfg.MaxN, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		id := fmt.Sprintf("s%04d-%s", i, algo)
+		ids[i] = id
+		algoOf[i] = algo
+		parts[i] = testbed.Participant{
+			Task:       endlessTask(id, 2),
+			Controller: agent,
+			JoinAt:     float64(i) * cfg.Stagger,
+		}
+	}
+	tl, err := scenario(FleetTestbed(), cfg.Seed, cfg.Duration, parts...)
+	if err != nil {
+		return nil, err
+	}
+
+	lastJoin := float64(cfg.Sessions-1) * cfg.Stagger
+	if lastJoin >= cfg.Duration {
+		return nil, fmt.Errorf("fleet: last join %.0fs is past the %.0fs horizon", lastJoin, cfg.Duration)
+	}
+
+	// Convergence: slide a window of a tenth of the horizon from the
+	// last join forward in half-window steps until the fleet-wide Jain
+	// index over per-session means reaches 0.9.
+	window := cfg.Duration / 10
+	fleetJain := func(t0, t1 float64) float64 {
+		means := make([]float64, cfg.Sessions)
+		for i, id := range ids {
+			means[i] = tl.MeanThroughputGbps(id, t0, t1)
+		}
+		return stats.JainIndex(means)
+	}
+	converged := -1.0
+	for t := lastJoin; t+window <= cfg.Duration; t += window / 2 {
+		if fleetJain(t, t+window) >= 0.9 {
+			converged = t
+			break
+		}
+	}
+
+	// Equilibrium: final quarter of the run.
+	eq0, eq1 := cfg.Duration*3/4, cfg.Duration
+	eqMeans := make([]float64, cfg.Sessions)
+	aggregate := 0.0
+	perAlgo := map[string][]float64{}
+	for i, id := range ids {
+		m := tl.MeanThroughputGbps(id, eq0, eq1)
+		eqMeans[i] = m
+		aggregate += m
+		perAlgo[algoOf[i]] = append(perAlgo[algoOf[i]], m)
+	}
+	eqJain := stats.JainIndex(eqMeans)
+
+	algos := make([]string, 0, len(perAlgo))
+	for a := range perAlgo {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	for _, a := range algos {
+		ms := perAlgo[a]
+		sum := 0.0
+		for _, m := range ms {
+			sum += m
+		}
+		r.AddRow(a, fmt.Sprintf("%d", len(ms)),
+			fmt.Sprintf("%.1f", sum/float64(len(ms))*1000),
+			fmt.Sprintf("%.3f", stats.JainIndex(ms)))
+	}
+	if converged >= 0 {
+		r.AddNote("fleet Jain ≥0.9 from t=%.0fs (last join %.0fs, window %.0fs)", converged, lastJoin, window)
+	} else {
+		r.AddNote("fleet Jain never reached 0.9 after the last join at %.0fs", lastJoin)
+	}
+	r.AddNote("equilibrium [%.0fs, %.0fs]: Jain %.3f, aggregate %.2f Gbps (link %.0f Gbps)",
+		eq0, eq1, eqJain, aggregate, FleetTestbed().LinkCapacity/1e9)
+	return r, nil
+}

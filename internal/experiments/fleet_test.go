@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFleetSmall runs a scaled-down fleet and checks the scenario's
+// core promises: the run is deterministic for a fixed config, the
+// fleet reaches a fair equilibrium, and the shared bottleneck is well
+// utilized. The full 500-session acceptance run lives in cmd/fleet.
+func TestFleetSmall(t *testing.T) {
+	cfg := FleetConfig{Sessions: 45, Duration: 300, Stagger: 0.5, Seed: 3}
+	render := func() string {
+		res, err := Fleet(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.String()
+	}
+	out := render()
+	if out != render() {
+		t.Fatal("same FleetConfig produced different output across runs")
+	}
+	if !strings.Contains(out, "fleet Jain ≥0.9") {
+		t.Fatalf("fleet never reached Jain 0.9:\n%s", out)
+	}
+	for _, algo := range []string{"hc", "gd", "bo"} {
+		if !strings.Contains(out, algo) {
+			t.Fatalf("missing %s row:\n%s", algo, out)
+		}
+	}
+}
+
+// TestFleetNotRegistered pins that the fleet workload stays out of the
+// reproduce registry: it is a stress driver, and registering it would
+// change reproduce's byte-exact output.
+func TestFleetNotRegistered(t *testing.T) {
+	if _, ok := ByID("fleet"); ok {
+		t.Fatal("fleet must not be registered in All()/ByID — it would change reproduce output")
+	}
+}

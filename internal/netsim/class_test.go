@@ -1,0 +1,323 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// randomScenario builds a deterministic pseudo-random network and
+// demand set from the seed: up to 6 resources of mixed kinds, up to 40
+// demands drawn from a small pool of signatures so multi-member
+// classes appear alongside degenerate single-flow classes, with mixed
+// weights (multi-connection demands).
+func randomScenario(seed uint32) (*Network, []Demand) {
+	x := uint64(seed)*2654435761 + 1
+	next := func(mod uint64) uint64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return (x >> 33) % mod
+	}
+	n := New()
+	nres := int(next(6)) + 1
+	resIDs := make([]string, nres)
+	for i := 0; i < nres; i++ {
+		id := fmt.Sprintf("r%d", i)
+		resIDs[i] = id
+		n.AddResource(Resource{ID: id, Kind: ResourceKind(next(4)), Capacity: float64(next(1000)+1) * mbps})
+	}
+	// A small signature pool makes repeated (path, cap, RTT) tuples
+	// likely; some demands still draw fresh tuples and stay singletons.
+	type sig struct {
+		rs  []string
+		cap float64
+		rtt float64
+	}
+	nsig := int(next(5)) + 1
+	sigs := make([]sig, nsig)
+	for i := range sigs {
+		nr := int(next(uint64(nres))) + 1
+		rs := make([]string, 0, nr)
+		seen := map[string]bool{}
+		for len(rs) < nr {
+			id := resIDs[next(uint64(nres))]
+			if !seen[id] {
+				seen[id] = true
+				rs = append(rs, id)
+			}
+		}
+		sigs[i] = sig{rs: rs, cap: float64(next(500)+1) * mbps, rtt: 0.01 + float64(next(100))/1000}
+	}
+	nflows := int(next(40)) + 1
+	ds := make([]Demand, nflows)
+	for i := range ds {
+		s := sigs[next(uint64(nsig))]
+		ds[i] = Demand{
+			FlowID:    fmt.Sprintf("f%d", i),
+			Resources: s.rs,
+			Cap:       s.cap,
+			RTT:       s.rtt,
+			Weight:    int(next(4)), // 0 (=1) through 3 connections
+		}
+	}
+	return n, ds
+}
+
+// sameAlloc reports whether two allocations are bitwise identical.
+func sameAlloc(a, b *Allocation) error {
+	if len(a.Rate) != len(b.Rate) {
+		return fmt.Errorf("rate sizes %d vs %d", len(a.Rate), len(b.Rate))
+	}
+	for id, r := range a.Rate {
+		if br, ok := b.Rate[id]; !ok || br != r {
+			return fmt.Errorf("Rate[%s] = %x vs %x", id, r, b.Rate[id])
+		}
+	}
+	for id, l := range a.Loss {
+		if bl, ok := b.Loss[id]; !ok || bl != l {
+			return fmt.Errorf("Loss[%s] = %x vs %x", id, l, b.Loss[id])
+		}
+	}
+	if fmt.Sprint(a.Saturated) != fmt.Sprint(b.Saturated) {
+		return fmt.Errorf("Saturated %v vs %v", a.Saturated, b.Saturated)
+	}
+	return nil
+}
+
+// TestClassAggregationTransparencyProperty is the tentpole's pin:
+// across seeded random topologies, caps, RTTs, weights, and flow
+// counts, the class-aggregated allocation is bitwise identical to the
+// naive one-class-per-flow water-fill. Every float must match exactly
+// — the weighted fill charges each resource once per level with exact
+// integer weight sums, so no tolerance is needed or allowed.
+func TestClassAggregationTransparencyProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		nAgg, ds := randomScenario(seed)
+		nFlat, _ := randomScenario(seed) // identical network, fresh arena
+		nFlat.SetClassAggregation(false)
+		if nAgg.ClassAggregation() == nFlat.ClassAggregation() {
+			t.Fatal("toggle did not take effect")
+		}
+		aggAlloc, err := nAgg.Allocate(ds)
+		if err != nil {
+			t.Fatalf("seed %d: aggregated: %v", seed, err)
+		}
+		flatAlloc, err := nFlat.Allocate(ds)
+		if err != nil {
+			t.Fatalf("seed %d: per-flow: %v", seed, err)
+		}
+		if err := sameAlloc(aggAlloc, flatAlloc); err != nil {
+			t.Fatalf("seed %d: aggregated vs per-flow: %v", seed, err)
+		}
+		if nAgg.Classes() > len(ds) || nAgg.Classes() < 1 {
+			t.Fatalf("seed %d: Classes() = %d with %d demands", seed, nAgg.Classes(), len(ds))
+		}
+		// The dense (positional) form must carry the same values as the
+		// map form.
+		nDense, _ := randomScenario(seed)
+		var dense DenseAllocation
+		if err := nDense.AllocateDense(&dense, ds); err != nil {
+			t.Fatalf("seed %d: dense: %v", seed, err)
+		}
+		for i := range ds {
+			if dense.Rate[i] != aggAlloc.Rate[ds[i].FlowID] || dense.Loss[i] != aggAlloc.Loss[ds[i].FlowID] {
+				t.Fatalf("seed %d: dense[%d] = (%v, %v), map = (%v, %v)", seed, i,
+					dense.Rate[i], dense.Loss[i], aggAlloc.Rate[ds[i].FlowID], aggAlloc.Loss[ds[i].FlowID])
+			}
+		}
+		if fmt.Sprint(dense.Saturated) != fmt.Sprint(aggAlloc.Saturated) {
+			t.Fatalf("seed %d: dense Saturated %v vs %v", seed, dense.Saturated, aggAlloc.Saturated)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClassCacheAcrossCalls exercises the partition cache's dirty-
+// suffix path: joins append demands, leaves truncate, a retune changes
+// one demand's cap mid-list. After every mutation the cached Network's
+// allocation must remain bitwise identical to a fresh per-flow
+// computation, including while stale zero-member classes linger in the
+// table.
+func TestClassCacheAcrossCalls(t *testing.T) {
+	build := func() *Network {
+		n := New()
+		n.AddResource(Resource{ID: "link", Kind: Link, Capacity: 10 * gbps})
+		n.AddResource(Resource{ID: "store", Kind: Storage, Capacity: 8 * gbps})
+		n.AddResource(Resource{ID: "nic", Kind: NIC, Capacity: 40 * gbps})
+		return n
+	}
+	cached := build()
+	var got Allocation
+
+	mk := func(i int, cap float64, w int) Demand {
+		return Demand{
+			FlowID:    fmt.Sprintf("t%d", i),
+			Resources: []string{"store", "nic", "link"},
+			Cap:       cap,
+			RTT:       0.03,
+			Weight:    w,
+		}
+	}
+	ds := []Demand{mk(0, 500*mbps, 4), mk(1, 500*mbps, 4), mk(2, 250*mbps, 2)}
+
+	check := func(step string) {
+		t.Helper()
+		if err := cached.AllocateInto(&got, ds); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		fresh := build()
+		fresh.SetClassAggregation(false)
+		want, err := fresh.Allocate(ds)
+		if err != nil {
+			t.Fatalf("%s: fresh: %v", step, err)
+		}
+		if err := sameAlloc(&got, want); err != nil {
+			t.Fatalf("%s: cached vs fresh: %v", step, err)
+		}
+	}
+
+	check("initial")
+	if cached.Classes() != 2 {
+		t.Fatalf("initial Classes() = %d, want 2 (two caps)", cached.Classes())
+	}
+
+	// Join: a new task appends a demand in an existing class.
+	ds = append(ds, mk(3, 250*mbps, 2))
+	check("join existing class")
+	if cached.Classes() != 2 {
+		t.Fatalf("after join Classes() = %d, want 2", cached.Classes())
+	}
+
+	// Join with a fresh signature: a third class appears.
+	ds = append(ds, mk(4, 100*mbps, 1))
+	check("join new class")
+	if cached.Classes() != 3 {
+		t.Fatalf("after new-class join Classes() = %d, want 3", cached.Classes())
+	}
+
+	// Retune: task 1 changes concurrency, moving it to the 250 Mbps
+	// class; its old class keeps one member.
+	ds[1] = mk(1, 250*mbps, 2)
+	check("retune")
+
+	// Leave: the last two tasks finish. The 100 Mbps class goes stale
+	// (zero members) but stays cached.
+	ds = ds[:3]
+	check("leave")
+	if cached.Classes() != 2 {
+		t.Fatalf("after leave Classes() = %d, want 2 live", cached.Classes())
+	}
+
+	// Rejoin after staleness: the cached 100 Mbps class is revived.
+	ds = append(ds, mk(5, 100*mbps, 3))
+	check("rejoin stale class")
+	if cached.Classes() != 3 {
+		t.Fatalf("after rejoin Classes() = %d, want 3", cached.Classes())
+	}
+
+	// Toggling aggregation off and on mid-stream resets the cache and
+	// must not change results.
+	cached.SetClassAggregation(false)
+	check("aggregation off")
+	cached.SetClassAggregation(true)
+	check("aggregation back on")
+}
+
+// fleetDemands builds the acceptance-criteria demand set: 1000 flows
+// sharing one bottleneck path with four distinct per-flow caps, the
+// shape a 1000-session fleet presents to the allocator (4 classes).
+func fleetDemands() (*Network, []Demand) {
+	n := New()
+	n.AddResource(Resource{ID: "link", Kind: Link, Capacity: 10 * gbps})
+	n.AddResource(Resource{ID: "store", Kind: Storage, Capacity: 8 * gbps})
+	n.AddResource(Resource{ID: "nic", Kind: NIC, Capacity: 40 * gbps})
+	caps := []float64{100 * mbps, 200 * mbps, 400 * mbps, 800 * mbps}
+	ds := make([]Demand, 1000)
+	for i := range ds {
+		ds[i] = Demand{
+			FlowID:    fmt.Sprintf("f%d", i),
+			Resources: []string{"store", "nic", "link"},
+			Cap:       caps[i%len(caps)],
+			RTT:       0.03,
+			Weight:    1 + i%4,
+		}
+	}
+	return n, ds
+}
+
+// TestFleetDemandsTransparency pins the benchmark configuration itself:
+// the 1000-flow fleet set collapses to 4 classes and matches the
+// per-flow path bitwise.
+func TestFleetDemandsTransparency(t *testing.T) {
+	nAgg, ds := fleetDemands()
+	aggAlloc, err := nAgg.Allocate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nAgg.Classes() != 4 {
+		t.Fatalf("Classes() = %d, want 4", nAgg.Classes())
+	}
+	nFlat, _ := fleetDemands()
+	nFlat.SetClassAggregation(false)
+	flatAlloc, err := nFlat.Allocate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameAlloc(aggAlloc, flatAlloc); err != nil {
+		t.Fatal(err)
+	}
+	if nFlat.Classes() != 1000 {
+		t.Fatalf("per-flow Classes() = %d, want 1000", nFlat.Classes())
+	}
+}
+
+// BenchmarkAllocate1kFlows is the fleet-scale allocation through the
+// engine's entry point (AllocateDense): 1000 flows in 4 classes over a
+// three-resource bottleneck path. The class water-fill plus the
+// partition cache make the steady-state call O(classes × resources)
+// with one cheap compare pass over the demands; the benchmark asserts
+// the arena keeps it allocation-free.
+func BenchmarkAllocate1kFlows(b *testing.B) {
+	n, ds := fleetDemands()
+	var alloc DenseAllocation
+	if err := n.AllocateDense(&alloc, ds); err != nil {
+		b.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if err := n.AllocateDense(&alloc, ds); err != nil {
+			b.Fatal(err)
+		}
+	}); avg != 0 {
+		b.Fatalf("AllocateDense allocated %.1f times per call, want 0", avg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.AllocateDense(&alloc, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocate1kFlowsPerFlow is the same demand set and entry
+// point through the naive one-class-per-flow path (full revalidation
+// and a 1000-class water-fill every call, as the pre-aggregation
+// allocator did) — the baseline the class aggregation's ≥5x
+// acceptance criterion is measured against.
+func BenchmarkAllocate1kFlowsPerFlow(b *testing.B) {
+	n, ds := fleetDemands()
+	n.SetClassAggregation(false)
+	var alloc DenseAllocation
+	if err := n.AllocateDense(&alloc, ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.AllocateDense(&alloc, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

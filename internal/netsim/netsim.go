@@ -17,14 +17,31 @@
 //     quadratic growth of packet loss with concurrency shown in the
 //     paper's Figure 4.
 //
+// Allocation runs over flow *classes*, not individual flows: flows
+// with an identical (resource path, cap, RTT) signature receive
+// identical max-min shares and identical Mathis loss, so water-filling
+// raises one rate per class weighted by the class's total flow count —
+// O(distinct classes × resources) instead of O(flows × resources) —
+// and the class results expand back to per-flow rates only at the
+// boundary. Every arithmetic step is independent of how flows are
+// grouped (weights are integer counts, so weight sums are exact, and
+// per-resource charging happens once per fill level), which makes the
+// aggregated allocation bit-identical to the degenerate one-flow-per-
+// class computation; SetClassAggregation(false) forces that per-flow
+// path for A/B verification.
+//
 // The model is stateless in its observable behaviour: Allocate maps a
 // set of flow demands to rates and loss estimates, and the same inputs
 // always produce the same outputs. Internally the Network owns a
-// scratch arena of integer-indexed buffers reused across calls, so the
-// steady-state allocation path performs no heap allocations; a Network
-// is therefore not safe for concurrent use. Time dynamics (slow-start
-// ramping, measurement noise, task arrival/departure) live in package
-// testbed.
+// scratch arena of integer-indexed buffers reused across calls — and a
+// partition cache that survives across calls, revalidating and
+// reassigning only the demands whose signature changed since the
+// previous call (a join appends, a leave truncates, a retune adjusts
+// one class's weight in place) — so the steady-state allocation path
+// performs no heap allocations and no per-flow map operations; a
+// Network is therefore not safe for concurrent use. Time dynamics
+// (slow-start ramping, measurement noise, task arrival/departure) live
+// in package testbed.
 package netsim
 
 import (
@@ -111,6 +128,17 @@ type Allocation struct {
 	Saturated []string
 }
 
+// DenseAllocation is the slice-indexed form of Allocation: Rate[i] and
+// Loss[i] correspond to the i-th demand of the AllocateDense call that
+// produced it. It skips the map materialisation entirely, which
+// matters at fleet scale where writing thousands of map entries per
+// step would dwarf the class water-fill itself.
+type DenseAllocation struct {
+	Rate      []float64
+	Loss      []float64
+	Saturated []string
+}
+
 // LossModel parameterises the Mathis loss response at saturated links.
 type LossModel struct {
 	// MSSBits is the TCP maximum segment size in bits (default 12000,
@@ -143,19 +171,60 @@ func BBRLossModel() LossModel {
 	return LossModel{MSSBits: 12000, Scale: 0.15, Base: 1e-4, Max: 0.02}
 }
 
-// scratch is the Network-owned arena of reusable buffers for
-// Allocate/waterFill. Buffers indexed by resource have length
-// len(resList); buffers indexed by demand are resized per call. The
-// arena makes the steady-state allocation path allocation-free at the
-// cost of making Network unsafe for concurrent use.
+// scratch is the Network-owned arena of reusable buffers for the
+// allocation path. Buffers indexed by resource have length
+// len(resList); buffers indexed by demand or class are resized per
+// call. The arena makes the steady-state allocation path
+// allocation-free at the cost of making Network unsafe for concurrent
+// use.
 type scratch struct {
 	// Per-demand buffers.
-	rates  []float64
-	frozen []bool
 	// resIdx holds every demand's resource indices flattened;
 	// demand i's indices are resIdx[offsets[i]:offsets[i+1]].
+	// Rebuilt only when the demand list's shape (IDs or paths)
+	// changes; retunes reuse the previous call's translation.
 	resIdx  []int
 	offsets []int
+	// classOf maps demand index → class index.
+	classOf []int
+
+	// Per-class buffers (parallel slices; lengths track clsCap). A
+	// class is one distinct (resource path, cap, RTT) signature;
+	// clsRes/clsOff hold each class's own copy of its path span, so
+	// cached classes stay valid after the demand list they were
+	// discovered from changes.
+	clsCap   []float64
+	clsRTT   []float64
+	clsRes   []int
+	clsOff   []int
+	clsW     []float64 // Σ member weights (exact: weights are integers)
+	clsCount []int     // member demand count (0 = stale cached class)
+	rates    []float64 // water-fill output, one rate per class
+	frozen   []bool
+	clsLoss  []float64
+
+	// Class hash table: open addressing, linear probing, power-of-two
+	// size. tab holds class index + 1 (0 = empty slot).
+	tab     []int32
+	tabHash []uint64
+
+	// Partition cache: the previous successful call's demand list. A
+	// demand whose (FlowID, path, cap, RTT, weight) tuple matches its
+	// previous-call counterpart needs no revalidation, no class
+	// lookup, and no weight accounting — its contribution is already
+	// in clsW. Only the changed suffix is reprocessed: the departed
+	// demands' weights are subtracted (exact, integer-valued) and the
+	// new ones added. Classes orphaned by a change stay in the table
+	// with zero weight — harmless to the arithmetic — and are swept
+	// out when they outnumber the live demand set.
+	prevIDs    []string
+	prevCaps   []uint64 // math.Float64bits of each demand's Cap
+	prevRTTs   []uint64
+	prevWI     []int
+	prevResStr []string // flattened Resources, indexed by prevOff
+	prevOff    []int
+	prevN      int
+	prevOK     bool
 
 	// Per-resource buffers.
 	remaining []float64
@@ -165,7 +234,7 @@ type scratch struct {
 	sat       []bool
 	fairShare []float64
 
-	// Validation set, cleared on every call.
+	// Validation set, cleared on every full-validation call.
 	seen map[string]bool
 }
 
@@ -191,12 +260,46 @@ func growBools(s []bool, n int) []bool {
 	return s
 }
 
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// grow resizes s to n elements preserving existing content (unlike the
+// zeroing grow* helpers above); elements beyond the preserved prefix
+// are unspecified and must be overwritten by the caller.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		g := make([]T, n)
+		copy(g, s)
+		return g
+	}
+	return s[:n]
+}
+
+// resizeFloats resizes without zeroing, for buffers the caller fully
+// overwrites.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // Network is a set of resources plus a loss model.
 type Network struct {
-	index   map[string]int // resource ID → index into resList
-	resList []Resource
-	loss    LossModel
-	scr     scratch
+	index    map[string]int // resource ID → index into resList
+	resList  []Resource
+	loss     LossModel
+	scr      scratch
+	classOff bool // true forces the per-flow (one class per demand) path
+	classes  int  // live class count of the most recent allocation
 }
 
 // New returns an empty network with the default loss model.
@@ -213,6 +316,23 @@ func (n *Network) SetLossModel(m LossModel) { n.loss = m }
 
 // LossModel returns the current loss model.
 func (n *Network) LossModel() LossModel { return n.loss }
+
+// SetClassAggregation enables or disables flow-class aggregation
+// (enabled by default). Disabling forces the degenerate one-class-per-
+// flow partition — the naive per-flow water-fill, with full
+// revalidation on every call — which produces bit-identical results;
+// the transparency tests pin that equivalence.
+func (n *Network) SetClassAggregation(enabled bool) {
+	n.classOff = !enabled
+	n.resetClasses()
+}
+
+// ClassAggregation reports whether flow-class aggregation is enabled.
+func (n *Network) ClassAggregation() bool { return !n.classOff }
+
+// Classes returns the number of distinct flow classes in the most
+// recent allocation (0 before any allocation call).
+func (n *Network) Classes() int { return n.classes }
 
 // AddResource registers a resource. It panics on duplicate IDs or
 // non-positive capacity, both of which are programming errors in
@@ -287,91 +407,300 @@ func (n *Network) AllocateInto(alloc *Allocation, demands []Demand) error {
 	}
 	alloc.Saturated = alloc.Saturated[:0]
 	if len(demands) == 0 {
+		n.classes = 0
 		return nil
 	}
-
-	// Validate and translate resource IDs to indices into the flattened
-	// scratch index buffer.
+	if err := n.allocateCore(demands, &alloc.Saturated); err != nil {
+		return err
+	}
 	s := &n.scr
-	clear(s.seen)
-	s.resIdx = s.resIdx[:0]
-	s.offsets = s.offsets[:0]
-	if cap(s.offsets) < len(demands)+1 {
-		s.offsets = make([]int, 0, len(demands)+1)
-	}
-	s.offsets = append(s.offsets, 0)
 	for i := range demands {
-		d := &demands[i]
-		if d.FlowID == "" {
-			return fmt.Errorf("netsim: demand %d has empty FlowID", i)
+		c := s.classOf[i]
+		alloc.Rate[demands[i].FlowID] = s.rates[c]
+		alloc.Loss[demands[i].FlowID] = s.clsLoss[c]
+	}
+	return nil
+}
+
+// AllocateDense is AllocateInto without the per-flow maps: results are
+// written positionally, Rate[i]/Loss[i] for demands[i]. This is the
+// engine's hot path — expanding class results to per-flow values is
+// two float stores per flow instead of two map insertions.
+func (n *Network) AllocateDense(d *DenseAllocation, demands []Demand) error {
+	d.Saturated = d.Saturated[:0]
+	if len(demands) == 0 {
+		d.Rate = d.Rate[:0]
+		d.Loss = d.Loss[:0]
+		n.classes = 0
+		return nil
+	}
+	if err := n.allocateCore(demands, &d.Saturated); err != nil {
+		return err
+	}
+	s := &n.scr
+	d.Rate = resizeFloats(d.Rate, len(demands))
+	d.Loss = resizeFloats(d.Loss, len(demands))
+	for i := range demands {
+		c := s.classOf[i]
+		d.Rate[i] = s.rates[c]
+		d.Loss[i] = s.clsLoss[c]
+	}
+	return nil
+}
+
+// allocateCore validates the demands, partitions them into flow
+// classes (reusing the previous call's work for every unchanged
+// demand), water-fills over the classes, and leaves per-class rates
+// and losses in the scratch arena for the caller to expand. Saturated
+// resource IDs are appended to satOut in sorted order.
+func (n *Network) allocateCore(demands []Demand, satOut *[]string) error {
+	s := &n.scr
+	nd := len(demands)
+
+	// Stage 1: longest unchanged prefix against the previous call.
+	// Demands in the prefix are already validated, already assigned to
+	// their class, and their weight contributions are already in clsW.
+	wasOK := s.prevOK && !n.classOff
+	s.prevOK = false
+	k := 0
+	if wasOK {
+		maxK := nd
+		if s.prevN < maxK {
+			maxK = s.prevN
 		}
-		if s.seen[d.FlowID] {
-			return fmt.Errorf("netsim: duplicate FlowID %q", d.FlowID)
-		}
-		s.seen[d.FlowID] = true
-		if d.Cap <= 0 {
-			return fmt.Errorf("netsim: flow %q has non-positive cap %v", d.FlowID, d.Cap)
-		}
-		if d.Weight < 0 {
-			return fmt.Errorf("netsim: flow %q has negative weight %d", d.FlowID, d.Weight)
-		}
-		for _, rid := range d.Resources {
-			ri, ok := n.index[rid]
-			if !ok {
-				return fmt.Errorf("netsim: flow %q references unknown resource %q", d.FlowID, rid)
+	prefix:
+		for k < maxK {
+			d := &demands[k]
+			if d.FlowID != s.prevIDs[k] ||
+				math.Float64bits(d.Cap) != s.prevCaps[k] ||
+				math.Float64bits(d.RTT) != s.prevRTTs[k] ||
+				d.Weight != s.prevWI[k] {
+				break
 			}
-			s.resIdx = append(s.resIdx, ri)
+			span := s.prevResStr[s.prevOff[k]:s.prevOff[k+1]]
+			if len(d.Resources) != len(span) {
+				break
+			}
+			for j := range span {
+				if d.Resources[j] != span[j] {
+					break prefix
+				}
+			}
+			k++
 		}
-		s.offsets = append(s.offsets, len(s.resIdx))
 	}
 
-	rates := n.waterFill(demands)
-	for i := range demands {
-		alloc.Rate[demands[i].FlowID] = rates[i]
+	// Stage 2: validate the changed suffix. A retune (same IDs and
+	// paths, only caps/RTTs/weights changed) inherits the previous
+	// call's duplicate check and resource translation; any shape
+	// change (join, leave, reorder) rebuilds resIdx with full
+	// validation.
+	retune := wasOK && nd == s.prevN
+	if retune {
+	suffix:
+		for i := k; i < nd; i++ {
+			d := &demands[i]
+			if d.FlowID != s.prevIDs[i] {
+				retune = false
+				break
+			}
+			span := s.prevResStr[s.prevOff[i]:s.prevOff[i+1]]
+			if len(d.Resources) != len(span) {
+				retune = false
+				break
+			}
+			for j := range span {
+				if d.Resources[j] != span[j] {
+					retune = false
+					break suffix
+				}
+			}
+		}
+	}
+	if retune {
+		for i := k; i < nd; i++ {
+			d := &demands[i]
+			if d.Cap <= 0 {
+				return fmt.Errorf("netsim: flow %q has non-positive cap %v", d.FlowID, d.Cap)
+			}
+			if d.Weight < 0 {
+				return fmt.Errorf("netsim: flow %q has negative weight %d", d.FlowID, d.Weight)
+			}
+		}
+	} else {
+		clear(s.seen)
+		s.resIdx = s.resIdx[:0]
+		s.offsets = s.offsets[:0]
+		if cap(s.offsets) < nd+1 {
+			s.offsets = make([]int, 0, nd+1)
+		}
+		s.offsets = append(s.offsets, 0)
+		for i := range demands {
+			d := &demands[i]
+			if d.FlowID == "" {
+				return fmt.Errorf("netsim: demand %d has empty FlowID", i)
+			}
+			if s.seen[d.FlowID] {
+				return fmt.Errorf("netsim: duplicate FlowID %q", d.FlowID)
+			}
+			s.seen[d.FlowID] = true
+			if d.Cap <= 0 {
+				return fmt.Errorf("netsim: flow %q has non-positive cap %v", d.FlowID, d.Cap)
+			}
+			if d.Weight < 0 {
+				return fmt.Errorf("netsim: flow %q has negative weight %d", d.FlowID, d.Weight)
+			}
+			for _, rid := range d.Resources {
+				ri, ok := n.index[rid]
+				if !ok {
+					return fmt.Errorf("netsim: flow %q references unknown resource %q", d.FlowID, rid)
+				}
+				s.resIdx = append(s.resIdx, ri)
+			}
+			s.offsets = append(s.offsets, len(s.resIdx))
+		}
 	}
 
-	// Determine saturated resources from the final allocation.
+	// Stage 3: partition bookkeeping.
+	var nc int
+	if n.classOff {
+		// Per-flow path: the degenerate one-class-per-demand partition,
+		// rebuilt in full every call like the pre-aggregation allocator.
+		s.classOf = growInts(s.classOf, nd)
+		s.clsCap = growFloats(s.clsCap, nd)
+		s.clsRTT = growFloats(s.clsRTT, nd)
+		s.clsRes = append(s.clsRes[:0], s.resIdx...)
+		s.clsOff = append(s.clsOff[:0], s.offsets...)
+		s.clsW = growFloats(s.clsW, nd)
+		s.clsCount = growInts(s.clsCount, nd)
+		for i := range demands {
+			s.classOf[i] = i
+			s.clsCap[i] = demands[i].Cap
+			s.clsRTT[i] = demands[i].RTT
+			s.clsW[i] = demands[i].weight()
+			s.clsCount[i] = 1
+		}
+		nc = nd
+	} else {
+		// Sweep stale classes once they outnumber the live demand set;
+		// the rebuild below then reassigns every demand.
+		if len(s.clsCap) > 2*nd+16 {
+			n.resetClasses()
+			wasOK = false
+			k = 0
+		}
+		n.ensureTable(len(s.clsCap) + (nd - k))
+		if wasOK {
+			// Subtract the departed/changed demands' contributions
+			// before their classOf entries are overwritten. Weights
+			// are integer-valued, so subtract-then-add reproduces the
+			// from-scratch sums exactly.
+			for i := k; i < s.prevN; i++ {
+				c := s.classOf[i]
+				w := 1.0
+				if s.prevWI[i] > 0 {
+					w = float64(s.prevWI[i])
+				}
+				s.clsW[c] -= w
+				s.clsCount[c]--
+			}
+		} else {
+			s.clsW = growFloats(s.clsW, len(s.clsCap))
+			s.clsCount = growInts(s.clsCount, len(s.clsCap))
+			k = 0
+		}
+		s.classOf = grow(s.classOf, nd)
+		for i := k; i < nd; i++ {
+			d := &demands[i]
+			c := n.classFor(d, i)
+			s.classOf[i] = c
+			s.clsW[c] += d.weight()
+			s.clsCount[c]++
+		}
+		nc = len(s.clsCap)
+
+		// Stage 4: snapshot the changed suffix for the next call's
+		// prefix comparison (the prefix entries are already equal).
+		s.prevIDs = grow(s.prevIDs, nd)
+		s.prevCaps = grow(s.prevCaps, nd)
+		s.prevRTTs = grow(s.prevRTTs, nd)
+		s.prevWI = grow(s.prevWI, nd)
+		for i := k; i < nd; i++ {
+			d := &demands[i]
+			s.prevIDs[i] = d.FlowID
+			s.prevCaps[i] = math.Float64bits(d.Cap)
+			s.prevRTTs[i] = math.Float64bits(d.RTT)
+			s.prevWI[i] = d.Weight
+		}
+		if !retune {
+			s.prevResStr = s.prevResStr[:0]
+			for i := range demands {
+				s.prevResStr = append(s.prevResStr, demands[i].Resources...)
+			}
+			s.prevOff = append(s.prevOff[:0], s.offsets...)
+		}
+		s.prevN = nd
+		s.prevOK = true
+	}
+
+	n.classWaterFill(nc)
+
+	live := 0
+	for c := 0; c < nc; c++ {
+		if s.clsCount[c] > 0 {
+			live++
+		}
+	}
+	n.classes = live
+
+	// Determine saturated resources from the final allocation. Usage is
+	// derived from the water-fill's remaining headroom, which was
+	// charged once per resource per fill level, so the computation is
+	// independent of how flows are grouped into classes.
 	nr := len(n.resList)
 	s.used = growFloats(s.used, nr)
-	for i := range demands {
-		w := demands[i].weight()
-		for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
-			s.used[ri] += rates[i] * w
-		}
+	for ri := range s.used {
+		s.used[ri] = n.resList[ri].Capacity - s.remaining[ri]
 	}
 	const satTol = 1e-6
 	s.sat = growBools(s.sat, nr)
 	for ri, u := range s.used {
 		if u >= n.resList[ri].Capacity*(1-satTol) {
 			s.sat[ri] = true
-			alloc.Saturated = append(alloc.Saturated, n.resList[ri].ID)
+			*satOut = append(*satOut, n.resList[ri].ID)
 		}
 	}
-	sort.Strings(alloc.Saturated)
+	sort.Strings(*satOut)
 
 	// Per saturated link, the fair share is the largest per-flow rate
 	// among the flows crossing it: the rate the link's own congestion
 	// feedback imposes on flows it actually limits.
 	s.fairShare = growFloats(s.fairShare, nr)
-	for i := range demands {
-		for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
-			if s.sat[ri] && rates[i] > s.fairShare[ri] {
-				s.fairShare[ri] = rates[i]
+	for c := 0; c < nc; c++ {
+		if s.clsCount[c] == 0 {
+			continue
+		}
+		for _, ri := range s.clsRes[s.clsOff[c]:s.clsOff[c+1]] {
+			if s.sat[ri] && s.rates[c] > s.fairShare[ri] {
+				s.fairShare[ri] = s.rates[c]
 			}
 		}
 	}
 
-	// Loss: flows pushing a saturated Link at its fair share experience
-	// Mathis-model loss for their allocated rate; flows that are
-	// rate-limited elsewhere (rate strictly below the link fair share)
-	// do not fill the queue and see only the base loss floor, as do all
-	// flows on unsaturated links.
+	// Loss, once per class: flows pushing a saturated Link at its fair
+	// share experience Mathis-model loss for their allocated rate;
+	// flows that are rate-limited elsewhere (rate strictly below the
+	// link fair share) do not fill the queue and see only the base loss
+	// floor, as do all flows on unsaturated links.
 	const fsTol = 1e-6
-	for i := range demands {
-		d := &demands[i]
+	s.clsLoss = growFloats(s.clsLoss, nc)
+	for c := 0; c < nc; c++ {
+		if s.clsCount[c] == 0 {
+			continue
+		}
 		loss := 0.0
 		crossesLink := false
-		for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
+		for _, ri := range s.clsRes[s.clsOff[c]:s.clsOff[c+1]] {
 			r := &n.resList[ri]
 			if r.Kind != Link {
 				continue
@@ -380,12 +709,12 @@ func (n *Network) AllocateInto(alloc *Allocation, demands []Demand) error {
 			if !s.sat[ri] {
 				continue
 			}
-			if rates[i] < s.fairShare[ri]*(1-fsTol) {
+			if s.rates[c] < s.fairShare[ri]*(1-fsTol) {
 				// Cap-limited below the link's fair share: only base
 				// loss from this link.
 				continue
 			}
-			if l := n.mathisLoss(d.RTT, rates[i]); l > loss {
+			if l := n.mathisLoss(s.clsRTT[c], s.rates[c]); l > loss {
 				loss = l
 			}
 		}
@@ -395,9 +724,233 @@ func (n *Network) AllocateInto(alloc *Allocation, demands []Demand) error {
 		if loss > n.loss.Max {
 			loss = n.loss.Max
 		}
-		alloc.Loss[d.FlowID] = loss
+		s.clsLoss[c] = loss
 	}
 	return nil
+}
+
+// resetClasses drops every cached class and invalidates the partition
+// cache, forcing the next allocation to rebuild from scratch.
+func (n *Network) resetClasses() {
+	s := &n.scr
+	s.clsCap = s.clsCap[:0]
+	s.clsRTT = s.clsRTT[:0]
+	s.clsRes = s.clsRes[:0]
+	s.clsOff = s.clsOff[:0]
+	s.clsW = s.clsW[:0]
+	s.clsCount = s.clsCount[:0]
+	for i := range s.tab {
+		s.tab[i] = 0
+	}
+	s.prevOK = false
+}
+
+// sigHash hashes one demand signature (path span, cap bits, RTT bits)
+// with FNV-1a over 64-bit words.
+func sigHash(span []int, capBits, rttBits uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, ri := range span {
+		h ^= uint64(ri)
+		h *= prime64
+	}
+	h ^= capBits
+	h *= prime64
+	h ^= rttBits
+	h *= prime64
+	return h
+}
+
+// ensureTable (re)builds the class hash table when it cannot hold need
+// classes at ≤50% load, reinserting the cached classes.
+func (n *Network) ensureTable(need int) {
+	s := &n.scr
+	if len(s.tab) >= 2*(need+1) {
+		return
+	}
+	size := 16
+	for size < 4*(need+1) {
+		size *= 2
+	}
+	if cap(s.tab) >= size {
+		s.tab = s.tab[:size]
+		for i := range s.tab {
+			s.tab[i] = 0
+		}
+		s.tabHash = s.tabHash[:size]
+	} else {
+		s.tab = make([]int32, size)
+		s.tabHash = make([]uint64, size)
+	}
+	mask := uint64(size - 1)
+	for c := range s.clsCap {
+		h := sigHash(s.clsRes[s.clsOff[c]:s.clsOff[c+1]], math.Float64bits(s.clsCap[c]), math.Float64bits(s.clsRTT[c]))
+		j := h & mask
+		for s.tab[j] != 0 {
+			j = (j + 1) & mask
+		}
+		s.tab[j] = int32(c + 1)
+		s.tabHash[j] = h
+	}
+}
+
+// classFor returns the class index for demand i, appending a new class
+// when its signature is unseen. The table must have headroom for one
+// insertion (ensured by partition stage 3).
+func (n *Network) classFor(d *Demand, i int) int {
+	s := &n.scr
+	span := s.resIdx[s.offsets[i]:s.offsets[i+1]]
+	capBits := math.Float64bits(d.Cap)
+	rttBits := math.Float64bits(d.RTT)
+	h := sigHash(span, capBits, rttBits)
+	mask := uint64(len(s.tab) - 1)
+	j := h & mask
+	for s.tab[j] != 0 {
+		if s.tabHash[j] == h {
+			c := int(s.tab[j]) - 1
+			if math.Float64bits(s.clsCap[c]) == capBits && math.Float64bits(s.clsRTT[c]) == rttBits {
+				cspan := s.clsRes[s.clsOff[c]:s.clsOff[c+1]]
+				if len(cspan) == len(span) {
+					match := true
+					for k := range span {
+						if cspan[k] != span[k] {
+							match = false
+							break
+						}
+					}
+					if match {
+						return c
+					}
+				}
+			}
+		}
+		j = (j + 1) & mask
+	}
+	c := len(s.clsCap)
+	s.clsCap = append(s.clsCap, d.Cap)
+	s.clsRTT = append(s.clsRTT, d.RTT)
+	if len(s.clsOff) == 0 {
+		s.clsOff = append(s.clsOff, 0)
+	}
+	s.clsRes = append(s.clsRes, span...)
+	s.clsOff = append(s.clsOff, len(s.clsRes))
+	s.clsW = append(s.clsW, 0)
+	s.clsCount = append(s.clsCount, 0)
+	s.tab[j] = int32(c + 1)
+	s.tabHash[j] = h
+	return c
+}
+
+// classWaterFill runs progressive filling over the nc flow classes:
+// raise all unfrozen classes' rates in lockstep until a resource
+// saturates or a class hits its cap; freeze the affected classes;
+// repeat. Each resource is charged once per fill level with the exact
+// integer sum of its active flow weights, so the computation — and
+// every float it produces — is identical whether flows arrive as
+// aggregated classes or one class each. Stale cached classes (zero
+// members) start frozen and contribute nothing. Results land in the
+// scratch rates/remaining buffers.
+func (n *Network) classWaterFill(nc int) {
+	nr := len(n.resList)
+	s := &n.scr
+	s.rates = growFloats(s.rates, nc)
+	s.frozen = growBools(s.frozen, nc)
+	for c := 0; c < nc; c++ {
+		s.frozen[c] = s.clsCount[c] == 0
+	}
+	s.remaining = growFloats(s.remaining, nr)
+	s.weight = growFloats(s.weight, nr)
+	s.exhausted = growBools(s.exhausted, nr)
+	for ri := range n.resList {
+		s.remaining[ri] = n.resList[ri].Capacity
+	}
+
+	for iter := 0; iter < nc+nr+1; iter++ {
+		// Active weight per resource.
+		for ri := range s.weight {
+			s.weight[ri] = 0
+		}
+		for c := 0; c < nc; c++ {
+			if s.frozen[c] {
+				continue
+			}
+			w := s.clsW[c]
+			for _, ri := range s.clsRes[s.clsOff[c]:s.clsOff[c+1]] {
+				s.weight[ri] += w
+			}
+		}
+		// Smallest headroom increment across resources and caps.
+		inc := math.Inf(1)
+		for ri, w := range s.weight {
+			if w == 0 {
+				continue
+			}
+			if h := s.remaining[ri] / w; h < inc {
+				inc = h
+			}
+		}
+		anyActive := false
+		for c := 0; c < nc; c++ {
+			if s.frozen[c] {
+				continue
+			}
+			anyActive = true
+			if h := s.clsCap[c] - s.rates[c]; h < inc {
+				inc = h
+			}
+		}
+		if !anyActive {
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		// Raise all active classes by inc and charge the resources.
+		for c := 0; c < nc; c++ {
+			if !s.frozen[c] {
+				s.rates[c] += inc
+			}
+		}
+		for ri, w := range s.weight {
+			if w > 0 {
+				s.remaining[ri] -= inc * w
+			}
+		}
+		// Freeze classes that hit their cap or traverse an exhausted
+		// resource.
+		const tol = 1e-9
+		for ri, w := range s.weight {
+			s.exhausted[ri] = w > 0 && s.remaining[ri] <= tol*n.resList[ri].Capacity
+		}
+		progressed := false
+		for c := 0; c < nc; c++ {
+			if s.frozen[c] {
+				continue
+			}
+			if s.rates[c] >= s.clsCap[c]-tol*s.clsCap[c] {
+				s.frozen[c] = true
+				progressed = true
+				continue
+			}
+			for _, ri := range s.clsRes[s.clsOff[c]:s.clsOff[c+1]] {
+				if s.exhausted[ri] {
+					s.frozen[c] = true
+					progressed = true
+					break
+				}
+			}
+		}
+		if !progressed && inc == 0 {
+			// Nothing can advance: freeze everything still active to
+			// guarantee termination (degenerate zero-headroom state).
+			for c := range s.frozen {
+				s.frozen[c] = true
+			}
+		}
+	}
 }
 
 // mathisLoss inverts the Mathis throughput relation
@@ -413,108 +966,4 @@ func (n *Network) mathisLoss(rtt, rate float64) float64 {
 		p = n.loss.Max
 	}
 	return p
-}
-
-// waterFill runs progressive filling: raise all unfrozen flows' rates
-// in lockstep until a resource saturates or a flow hits its cap; freeze
-// the affected flows; repeat. It requires the scratch resIdx/offsets
-// buffers to be populated for demands, and returns a scratch-owned rate
-// slice valid until the next call.
-func (n *Network) waterFill(demands []Demand) []float64 {
-	nf := len(demands)
-	nr := len(n.resList)
-	s := &n.scr
-	s.rates = growFloats(s.rates, nf)
-	s.frozen = growBools(s.frozen, nf)
-	s.remaining = growFloats(s.remaining, nr)
-	s.weight = growFloats(s.weight, nr)
-	s.exhausted = growBools(s.exhausted, nr)
-	for ri := range n.resList {
-		s.remaining[ri] = n.resList[ri].Capacity
-	}
-
-	for iter := 0; iter < nf+nr+1; iter++ {
-		// Active weight per resource.
-		for ri := range s.weight {
-			s.weight[ri] = 0
-		}
-		for i := range demands {
-			if s.frozen[i] {
-				continue
-			}
-			w := demands[i].weight()
-			for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
-				s.weight[ri] += w
-			}
-		}
-		// Smallest headroom increment across resources and caps.
-		inc := math.Inf(1)
-		for ri, w := range s.weight {
-			if w == 0 {
-				continue
-			}
-			if h := s.remaining[ri] / w; h < inc {
-				inc = h
-			}
-		}
-		anyActive := false
-		for i := range demands {
-			if s.frozen[i] {
-				continue
-			}
-			anyActive = true
-			if h := demands[i].Cap - s.rates[i]; h < inc {
-				inc = h
-			}
-		}
-		if !anyActive {
-			break
-		}
-		if inc < 0 {
-			inc = 0
-		}
-		// Raise all active flows by inc and charge the resources.
-		for i := range demands {
-			if s.frozen[i] {
-				continue
-			}
-			s.rates[i] += inc
-			w := demands[i].weight()
-			for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
-				s.remaining[ri] -= inc * w
-			}
-		}
-		// Freeze flows that hit their cap or traverse an exhausted
-		// resource.
-		const tol = 1e-9
-		for ri, w := range s.weight {
-			s.exhausted[ri] = w > 0 && s.remaining[ri] <= tol*n.resList[ri].Capacity
-		}
-		progressed := false
-		for i := range demands {
-			if s.frozen[i] {
-				continue
-			}
-			if s.rates[i] >= demands[i].Cap-tol*demands[i].Cap {
-				s.frozen[i] = true
-				progressed = true
-				continue
-			}
-			for _, ri := range s.resIdx[s.offsets[i]:s.offsets[i+1]] {
-				if s.exhausted[ri] {
-					s.frozen[i] = true
-					progressed = true
-					break
-				}
-			}
-		}
-		if !progressed && inc == 0 {
-			// Nothing can advance: freeze everything still active to
-			// guarantee termination (degenerate zero-headroom state).
-			for i := range s.frozen {
-				s.frozen[i] = true
-			}
-		}
-	}
-	return s.rates
 }

@@ -467,6 +467,9 @@ func BenchmarkAllocate(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocate64Flows is the ≥64-flow steady-state path through
+// the scratch arena. It asserts zero allocations per call: the large
+// case must ride the same reuse as the small one.
 func BenchmarkAllocate64Flows(b *testing.B) {
 	n := New()
 	n.AddResource(Resource{ID: "link", Kind: Link, Capacity: 10 * gbps})
@@ -475,9 +478,21 @@ func BenchmarkAllocate64Flows(b *testing.B) {
 	for i := range ds {
 		ds[i] = demand(fmt.Sprintf("f%d", i), 500*mbps, 0.03, "store", "link")
 	}
+	var alloc Allocation
+	if err := n.AllocateInto(&alloc, ds); err != nil { // warm the arena
+		b.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		if err := n.AllocateInto(&alloc, ds); err != nil {
+			b.Fatal(err)
+		}
+	}); avg != 0 {
+		b.Fatalf("AllocateInto allocated %.1f times per call, want 0", avg)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := n.Allocate(ds); err != nil {
+		if err := n.AllocateInto(&alloc, ds); err != nil {
 			b.Fatal(err)
 		}
 	}

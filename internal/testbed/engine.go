@@ -74,7 +74,7 @@ type Engine struct {
 	path    []string
 	active  []*taskState
 	demands []netsim.Demand
-	alloc   netsim.Allocation
+	alloc   netsim.DenseAllocation
 
 	// Allocator memo: between optimizer decisions the demand set and
 	// contention counts are unchanged for many consecutive ticks, so
@@ -159,6 +159,21 @@ func (e *Engine) SetAllocMemo(enabled bool) {
 	e.memoOK = false
 	e.fastOK = false
 }
+
+// SetClassAlloc enables or disables the allocator's flow-class
+// aggregation (enabled by default). Disabling forces per-flow
+// water-filling — bit-identical by construction; the transparency
+// tests use the flag to keep that claim checkable end to end.
+func (e *Engine) SetClassAlloc(enabled bool) {
+	e.net.SetClassAggregation(enabled)
+	e.memoOK = false
+	e.fastOK = false
+}
+
+// AllocClasses returns the number of distinct flow classes in the
+// engine's most recent allocation: tasks running the same parallelism
+// setting collapse into one class each.
+func (e *Engine) AllocClasses() int { return e.net.Classes() }
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -306,7 +321,7 @@ func (e *Engine) Step(dt float64) {
 
 	caps := [4]float64{srcStoreCap, dstStoreCap, srcCPUCap, dstCPUCap}
 	if !e.memoValid(demands, caps) {
-		if err := e.net.AllocateInto(&e.alloc, demands); err != nil {
+		if err := e.net.AllocateDense(&e.alloc, demands); err != nil {
 			// Demands are constructed internally; an error is a bug.
 			panic(fmt.Sprintf("testbed: allocation failed: %v", err))
 		}
@@ -321,12 +336,17 @@ func (e *Engine) Step(dt float64) {
 	// nothing observable changes.
 	changed := false
 	e.factive = e.factive[:0]
+	di := 0 // demand index: demands were appended in active order, skipping m == 0
 	for _, st := range active {
 		set := st.task.Setting()
 		m := st.task.ActiveConnections()
 		files := st.task.ActiveFiles()
-		eqRate := alloc.Rate[st.task.ID()]
-		loss := alloc.Loss[st.task.ID()]
+		var eqRate, loss float64
+		if m > 0 {
+			eqRate = alloc.Rate[di]
+			loss = alloc.Loss[di]
+			di++
+		}
 		eq := eqRate * float64(m)
 		if m > 0 {
 			perFileRate := eq / float64(files)

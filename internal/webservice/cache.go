@@ -1,0 +1,70 @@
+package webservice
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// defaultCacheSize bounds the number of completed scenarios kept for
+// content-addressed reuse.
+const defaultCacheSize = 64
+
+// cacheKey content-addresses a scenario: every field of the normalised
+// request that influences the run is part of the address, and nothing
+// else is. Two requests with the same key are the same deterministic
+// simulation, so a completed result can be served verbatim.
+func cacheKey(r ScenarioRequest) string {
+	return fmt.Sprintf("%s|%s|%d|%g|%g|%d|%d",
+		r.Testbed, r.Algorithm, r.Agents, r.StaggerSeconds, r.DurationSeconds, r.Seed, r.MaxConcurrency)
+}
+
+// resultCache is an LRU map from cacheKey to a completed scenario.
+// Callers synchronise access (the service holds its mutex around every
+// cache call).
+type resultCache struct {
+	cap   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	sc  *Scenario
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached completed scenario for key, refreshing its
+// recency.
+func (c *resultCache) get(key string) (*Scenario, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).sc, true
+}
+
+// put stores a completed scenario under key, evicting the least
+// recently used entry past capacity.
+func (c *resultCache) put(key string, sc *Scenario) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).sc = sc
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, sc: sc})
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int { return c.order.Len() }

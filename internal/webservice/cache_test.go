@@ -1,0 +1,116 @@
+package webservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestScenarioResultCacheHit: resubmitting a byte-identical scenario
+// must be answered from the content-addressed cache — no second
+// simulation, results served verbatim under a fresh id with the cached
+// flag set in both the scenario and progress payloads.
+func TestScenarioResultCacheHit(t *testing.T) {
+	svc := NewWithLimit(1)
+	var mu sync.Mutex
+	runs := 0
+	svc.runFn = func(sc *Scenario) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		svc.run(sc)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+
+	req := `{"testbed":"emulab","algorithm":"gd","duration_seconds":60}`
+	_, first := postScenario(t, ts.URL, req)
+	orig := waitDone(t, ts.URL, first["id"])
+	if orig.Status != "done" {
+		t.Fatalf("first run status = %s (%s)", orig.Status, orig.Error)
+	}
+	if orig.Cached {
+		t.Fatal("first run must not be marked cached")
+	}
+
+	_, second := postScenario(t, ts.URL, req)
+	if second["id"] == first["id"] {
+		t.Fatal("cache hit must still mint a fresh scenario id")
+	}
+	hit := waitDone(t, ts.URL, second["id"])
+	if !hit.Cached {
+		t.Fatal("identical resubmission not served from the cache")
+	}
+	if fmt.Sprint(hit.Results) != fmt.Sprint(orig.Results) || hit.JainIndex != orig.JainIndex {
+		t.Fatalf("cached results differ: %+v vs %+v", hit.Results, orig.Results)
+	}
+	mu.Lock()
+	if runs != 1 {
+		t.Fatalf("simulation ran %d times, want 1", runs)
+	}
+	mu.Unlock()
+
+	// The progress API reports the cached flag and the original run's
+	// final agent state.
+	resp, err := http.Get(ts.URL + "/api/scenarios/" + second["id"] + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p Progress
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Cached || p.Status != "done" || len(p.Agents) != 1 {
+		t.Fatalf("cached progress = %+v, want cached done view with 1 agent", p)
+	}
+
+	// A different seed is a different content address: it must run.
+	_, third := postScenario(t, ts.URL, `{"testbed":"emulab","algorithm":"gd","duration_seconds":60,"seed":2}`)
+	if sc := waitDone(t, ts.URL, third["id"]); sc.Cached {
+		t.Fatal("different request must not hit the cache")
+	}
+	mu.Lock()
+	if runs != 2 {
+		t.Fatalf("simulation ran %d times after distinct request, want 2", runs)
+	}
+	mu.Unlock()
+}
+
+// TestResultCacheLRU pins the eviction policy: the cache holds at most
+// its capacity of distinct results and drops the least recently used.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	mk := func(seed int64) (string, *Scenario) {
+		r := ScenarioRequest{Testbed: "emulab", Algorithm: "gd", Agents: 1,
+			StaggerSeconds: 120, DurationSeconds: 60, Seed: seed, MaxConcurrency: 64}
+		return cacheKey(r), &Scenario{Request: r, Status: "done"}
+	}
+	k1, s1 := mk(1)
+	k2, s2 := mk(2)
+	k3, s3 := mk(3)
+	c.put(k1, s1)
+	c.put(k2, s2)
+	if _, ok := c.get(k1); !ok { // refresh k1: k2 becomes LRU
+		t.Fatal("k1 missing")
+	}
+	c.put(k3, s3)
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get(k2); ok {
+		t.Fatal("k2 should have been evicted as least recently used")
+	}
+	if _, ok := c.get(k1); !ok {
+		t.Fatal("k1 evicted despite recent use")
+	}
+	if got, ok := c.get(k3); !ok || got != s3 {
+		t.Fatal("k3 missing after insert")
+	}
+}

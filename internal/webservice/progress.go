@@ -22,7 +22,11 @@ type AgentProgress struct {
 
 // Progress is the GET /api/scenarios/{id}/progress payload.
 type Progress struct {
-	Status  string          `json:"status"`
+	Status string `json:"status"`
+	// Cached reports that the scenario was answered from the
+	// content-addressed result cache: the agent view below is the
+	// final state of the original run, not a live stream.
+	Cached  bool            `json:"cached"`
 	SimTime float64         `json:"sim_time"`
 	Agents  []AgentProgress `json:"agents"`
 }
@@ -93,6 +97,7 @@ func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	status := sc.Status
+	cached := sc.Cached
 	tracker := sc.progress
 	s.mu.Unlock()
 	var simTime float64
@@ -101,5 +106,5 @@ func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
 		simTime, agents = tracker.snapshot()
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(Progress{Status: status, SimTime: simTime, Agents: agents})
+	json.NewEncoder(w).Encode(Progress{Status: status, Cached: cached, SimTime: simTime, Agents: agents})
 }
