@@ -1,24 +1,31 @@
-// Command fleet runs the fleet-scale contention workload: hundreds of
-// concurrent Falcon sessions (a hill-climbing / gradient-descent /
-// Bayesian-optimization mix) joining one shared 10 Gbps bottleneck,
-// each optimizing its own concurrency. It reports the time for the
-// fleet to reach a Jain fairness index of 0.9, the equilibrium Jain
-// index, and aggregate throughput.
+// Command fleet runs the fleet-scale contention workload: hundreds to
+// tens of thousands of concurrent Falcon sessions (a hill-climbing /
+// gradient-descent / Bayesian-optimization mix) joining one shared
+// 10 Gbps bottleneck, each optimizing its own concurrency. It reports
+// the time for the fleet to reach a Jain fairness index of 0.9, the
+// equilibrium Jain index, and aggregate throughput, plus wall time and
+// simulation rate (session-seconds of fleet simulated per wall second)
+// on stderr so stdout stays byte-deterministic.
 //
 // Usage:
 //
-//	fleet [-n N] [-duration S] [-stagger S] [-maxn N] [-seed N] [-algos hc,gd,bo] [-exact]
+//	fleet [-n N] [-duration S] [-stagger S] [-maxn N] [-seed N] [-algos hc,gd,bo]
+//	      [-exact] [-scan] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The run is deterministic for a given flag set: the same seed always
-// produces byte-identical output, in both the event-horizon (default)
-// and -exact stepping modes.
+// produces byte-identical output, in the event-horizon (default) and
+// -exact stepping modes, and with the event-queue (default) and -scan
+// scheduler orchestration.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/testbed"
@@ -26,6 +33,8 @@ import (
 
 func main() { os.Exit(run()) }
 
+// run holds main's body so profile-flushing defers execute before the
+// process exits with a status code.
 func run() int {
 	n := flag.Int("n", 500, "number of concurrent sessions")
 	duration := flag.Float64("duration", 600, "simulated horizon in seconds")
@@ -34,15 +43,47 @@ func run() int {
 	seed := flag.Int64("seed", 1, "base seed (session i's agent is seeded seed+i)")
 	algos := flag.String("algos", "hc,gd,bo", "comma-separated algorithm mix cycled across sessions")
 	exact := flag.Bool("exact", false, "simulate on the exact always-tick path instead of event-horizon stepping")
+	scan := flag.Bool("scan", false, "use the legacy linear-scan scheduler loop instead of the event queue (A/B baseline; output must be byte-identical)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	testbed.SetDefaultExact(*exact)
+	testbed.SetDefaultEventQueue(!*scan)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			}
+		}()
+	}
+
 	var list []string
 	for _, a := range strings.Split(*algos, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			list = append(list, a)
 		}
 	}
+	start := time.Now()
 	res, err := experiments.Fleet(experiments.FleetConfig{
 		Sessions:   *n,
 		Duration:   *duration,
@@ -51,6 +92,7 @@ func run() int {
 		Seed:       *seed,
 		Algorithms: list,
 	})
+	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 		return 1
@@ -59,5 +101,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 		return 1
 	}
+	sessSec := float64(*n) * *duration / wall.Seconds()
+	fmt.Fprintf(os.Stderr, "fleet: %d sessions × %.0f s simulated in %.2f s wall — %.0f session-seconds/sec\n",
+		*n, *duration, wall.Seconds(), sessSec)
 	return 0
 }

@@ -57,6 +57,21 @@ type ReproduceTiming struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// FleetTiming is the wall-clock measurement of one cmd/fleet run — the
+// fleet-scale orchestration number the event-queue scheduler is judged
+// by.
+type FleetTiming struct {
+	Sessions int     `json:"sessions"`
+	// DurationSec is the simulated horizon of the run.
+	DurationSec float64 `json:"duration_sec"`
+	Args        string  `json:"args"`
+	Seconds     float64 `json:"seconds"`
+	// SessionsPerSec is simulated session-seconds advanced per wall
+	// second (sessions × duration / wall), the scheduler's fleet
+	// throughput metric.
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+}
+
 // Report is the BENCH_sim.json document.
 type Report struct {
 	// GeneratedAt is the RFC 3339 timestamp of the run.
@@ -66,6 +81,7 @@ type Report struct {
 	Benchtime  string            `json:"benchtime"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 	Reproduce  []ReproduceTiming `json:"reproduce,omitempty"`
+	Fleet      []FleetTiming     `json:"fleet,omitempty"`
 	// SpeedupExactOverBatched is exact seconds / batched seconds for
 	// the reproduce runs — the stepping layer's end-to-end win.
 	SpeedupExactOverBatched float64 `json:"speedup_exact_over_batched,omitempty"`
@@ -76,6 +92,7 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime per benchmark")
 	seed := flag.Int64("seed", 1, "reproduce seed")
 	skipReproduce := flag.Bool("skip-reproduce", false, "skip the end-to-end reproduce timings")
+	skipFleet := flag.Bool("skip-fleet", false, "skip the 10k-session fleet timing")
 	flag.Parse()
 
 	report := Report{
@@ -115,6 +132,14 @@ func main() {
 		}
 	}
 
+	if !*skipFleet {
+		fleets, err := timeFleet(*seed)
+		if err != nil {
+			fatal("%v", err)
+		}
+		report.Fleet = fleets
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal("%v", err)
@@ -139,6 +164,7 @@ var requiredBenchmarks = []string{
 	"BenchmarkSchedulerRunMinute",
 	"BenchmarkAllocate1kFlows",
 	"BenchmarkFleetStep",
+	"BenchmarkFleetStep10k",
 }
 
 // checkRequired verifies every required benchmark produced a result.
@@ -238,6 +264,49 @@ func parseBenchLine(line, pkg string) (Benchmark, bool) {
 		}
 	}
 	return b, true
+}
+
+// timeFleet builds cmd/fleet and times the 10k-session contention run
+// on the event-queue scheduler, recording sessions_per_sec (simulated
+// session-seconds per wall second).
+func timeFleet(seed int64) ([]FleetTiming, error) {
+	dir, err := os.MkdirTemp("", "simbench-fleet")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "fleet")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/fleet").CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("build fleet: %v\n%s", err, out)
+	}
+
+	const (
+		sessions = 10000
+		duration = 600.0
+	)
+	args := []string{
+		"-n", strconv.Itoa(sessions),
+		"-duration", strconv.FormatFloat(duration, 'f', -1, 64),
+		"-stagger", "0.05",
+		"-seed", strconv.FormatInt(seed, 10),
+	}
+	fmt.Fprintf(os.Stderr, "simbench: timing fleet %s...\n", strings.Join(args, " "))
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = nil // discard: only the wall time matters here
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	start := time.Now()
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("fleet %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	wall := time.Since(start).Seconds()
+	return []FleetTiming{{
+		Sessions:       sessions,
+		DurationSec:    duration,
+		Args:           strings.Join(args, " "),
+		Seconds:        wall,
+		SessionsPerSec: float64(sessions) * duration / wall,
+	}}, nil
 }
 
 // timeReproduce builds cmd/reproduce once and times a full serial run

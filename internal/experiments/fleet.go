@@ -112,7 +112,7 @@ func Fleet(cfg FleetConfig) (*Result, error) {
 		ids[i] = id
 		algoOf[i] = algo
 		parts[i] = testbed.Participant{
-			Task:       endlessTask(id, 2),
+			Task:       fleetTask(id, 2),
 			Controller: agent,
 			JoinAt:     float64(i) * cfg.Stagger,
 		}

@@ -304,10 +304,14 @@ type Network struct {
 
 // New returns an empty network with the default loss model.
 func New() *Network {
+	// Presized for the 7-resource end-to-end path every testbed engine
+	// builds, so short-lived engines (sweep points, benchmark bodies)
+	// construct without incremental growth.
 	return &Network{
-		index: make(map[string]int),
-		loss:  DefaultLossModel(),
-		scr:   scratch{seen: make(map[string]bool)},
+		index:   make(map[string]int, 8),
+		resList: make([]Resource, 0, 8),
+		loss:    DefaultLossModel(),
+		scr:     scratch{seen: make(map[string]bool, 8)},
 	}
 }
 

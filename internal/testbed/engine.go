@@ -99,12 +99,25 @@ type Engine struct {
 	fastOK      bool
 	stepChanged bool
 	factive     []*taskState
+
+	// drained lists the IDs of tasks that completed their dataset during
+	// the most recent public advance (Step or RunTicks call), in
+	// deterministic task order. The engine already detects the
+	// file-count horizon crossing per tick, so completion consumers
+	// (the scheduler's event-queue path) read this list instead of
+	// polling every task's Done() — see Drained.
+	drained []string
 }
 
 // defaultExact seeds every new engine's stepping mode. Commands set it
 // once at startup (the -exact flag) before building engines; it is not
 // safe to toggle concurrently with engine construction.
 var defaultExact bool
+
+// enginePath is the fixed end-to-end resource path every engine's
+// demands traverse. It is read-only and shared across engines, so
+// construction doesn't re-allocate it.
+var enginePath = []string{resSrcStore, resSrcCPU, resSrcNIC, resLink, resDstNIC, resDstCPU, resDstStore}
 
 // SetDefaultExact makes engines built afterwards start in exact
 // (always-tick) stepping mode — the A/B verification path behind the
@@ -133,7 +146,7 @@ func NewEngine(cfg Config, seed int64) (*Engine, error) {
 		net:   n,
 		rng:   rand.New(rand.NewSource(seed)),
 		state: make(map[string]*taskState),
-		path:  []string{resSrcStore, resSrcCPU, resSrcNIC, resLink, resDstNIC, resDstCPU, resDstStore},
+		path:  enginePath,
 		exact: defaultExact,
 	}, nil
 }
@@ -268,6 +281,18 @@ func (e *Engine) activeStates() []*taskState {
 // Step advances the simulation by dt seconds. It panics on
 // non-positive dt (a driver bug).
 func (e *Engine) Step(dt float64) {
+	e.drained = e.drained[:0]
+	e.step(dt)
+}
+
+// Drained returns the IDs of tasks that drained their dataset during
+// the most recent Step or RunTicks call, in deterministic task order.
+// The slice is engine-owned and valid until the next advance.
+func (e *Engine) Drained() []string { return e.drained }
+
+// step is one full tick: rebuild demands, allocate (or replay the
+// memo), and advance every active task.
+func (e *Engine) step(dt float64) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("testbed: Step(%v) must be positive", dt))
 	}
@@ -386,6 +411,9 @@ func (e *Engine) Step(dt float64) {
 		e.factive = append(e.factive, st)
 		if st.task.ActiveFiles() != files {
 			changed = true
+			if st.task.Done() {
+				e.drained = append(e.drained, st.task.ID())
+			}
 		}
 	}
 	e.now += dt
@@ -457,6 +485,9 @@ func (e *Engine) fastTick(dt float64) bool {
 		st.task.Advance(n, dt)
 		if st.task.ActiveFiles() != st.files {
 			changed = true
+			if st.task.Done() {
+				e.drained = append(e.drained, st.task.ID())
+			}
 		}
 	}
 	e.now += dt
@@ -481,6 +512,7 @@ func (e *Engine) RunTicks(k int, dt float64) int {
 	if dt <= 0 {
 		panic(fmt.Sprintf("testbed: RunTicks(dt=%v) must be positive", dt))
 	}
+	e.drained = e.drained[:0]
 	consumed := 0
 	for consumed < k {
 		if e.fastReady() {
@@ -490,7 +522,7 @@ func (e *Engine) RunTicks(k int, dt float64) int {
 			consumed++
 			continue
 		}
-		e.Step(dt)
+		e.step(dt)
 		consumed++
 		if e.stepChanged {
 			return consumed

@@ -1,0 +1,320 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/session"
+)
+
+// queueRun is one Run invocation on the event-queue path. Instead of
+// scanning every participant at every macro-step, it keeps an indexed
+// min-heap of horizons — pending joins, pending leaves, each live
+// session's next decision/warm-up deadline, and the engine's
+// NextEvent estimate — and pops only what is due at each loop head.
+// Completion bookkeeping consumes the engine's drained-task list, and
+// recording walks an intrusive list of live sessions, so steady-state
+// orchestration cost scales with the due set, not the fleet size.
+//
+// Handle scheme: part i owns handle 2i for its lifecycle horizon
+// (JoinAt until joined, then LeaveAt while a leave is pending) and
+// handle 2i+1 for its session deadline; handle 2·len(parts) is the
+// engine's NextEvent estimate. Because the heap breaks key ties by
+// handle and the due set is sorted before processing, identically-
+// timed events are handled in ascending part order with lifecycle
+// before deadline — exactly the scan loop's visit order, which keeps
+// the two paths byte-identical.
+type queueRun struct {
+	s          *Scheduler
+	until      float64
+	tick       float64
+	exact      bool
+	tl         *Timeline
+	sink       session.Sink
+	nextRecord float64
+
+	hz   horizonHeap
+	hint int32 // handle of the engine's NextEvent estimate
+
+	due  []int32 // scratch: handles due at the current loop head
+	done []int32 // scratch: part indexes to sweep for completion
+
+	// Live-session set: intrusive doubly-linked list over part
+	// indexes, kept in ascending order, with the sentinel at
+	// len(parts). Completion and recording walk it instead of parts.
+	next []int32
+	prev []int32
+}
+
+func (s *Scheduler) newQueueRun(until, tick float64) *queueRun {
+	n := len(s.parts)
+	tl := &Timeline{Finished: make(map[string]float64, n)}
+	// Reserving the series maps and the heap/list storage up front
+	// keeps the steady-state orchestration loop allocation-free.
+	tl.Throughput.Reserve(n)
+	tl.Concurrency.Reserve(n)
+	tl.Loss.Reserve(n)
+	r := &queueRun{
+		s:     s,
+		until: until,
+		tick:  tick,
+		exact: s.eng.Exact(),
+		tl:    tl,
+		sink:  session.MultiSink(tl.Sink(), s.logSink(), s.events),
+		hint:  int32(2 * n),
+	}
+	// All int32 storage — heap order and positions, due/done scratch,
+	// live-list links — lives in one backing block, so a Run costs two
+	// fixed allocations of orchestration state regardless of fleet
+	// size. Append-bounded sub-slices are capped (three-index slicing)
+	// so growth can never bleed into a neighbour.
+	m := 2*n + 1
+	ints := make([]int32, 3*m+n+2*(n+1))
+	r.hz.key = make([]float64, m)
+	r.hz.heap = ints[0:0:m]
+	r.hz.pos = ints[m : 2*m]
+	for i := range r.hz.pos {
+		r.hz.pos[i] = -1
+	}
+	r.due = ints[2*m : 2*m : 3*m]
+	r.done = ints[3*m : 3*m : 3*m+n]
+	r.next = ints[3*m+n : 3*m+2*n+1]
+	r.prev = ints[3*m+2*n+1:]
+	r.next[n], r.prev[n] = int32(n), int32(n)
+	for i, e := range s.parts {
+		r.hz.push(int32(2*i), e.p.JoinAt)
+	}
+	if !r.exact {
+		// The estimate starts due so the first macro-step computes it;
+		// exact mode steps one tick at a time and never consults it.
+		r.hz.push(r.hint, math.Inf(-1))
+	}
+	return r
+}
+
+// step executes one macro-step of the event-queue loop; it reports
+// false once the horizon is reached. The phase order — lifecycle,
+// session ticks, engine advance, completion sweep, recording — and
+// every boundary comparison mirror scanRun.step exactly.
+func (r *queueRun) step() bool {
+	s := r.s
+	eng := s.eng
+	if eng.Now() >= r.until {
+		return false
+	}
+	now := eng.Now()
+
+	// Pop every horizon due at this head, then sort: the heap yields
+	// (time, handle) order, the scan loop processes parts in index
+	// order, and ascending handle order is exactly ascending part
+	// order with lifecycle before deadline.
+	r.due = r.hz.popDue(now, r.due[:0])
+	slices.Sort(r.due)
+	hintDue := false
+	if m := len(r.due); m > 0 && r.due[m-1] == r.hint {
+		r.due = r.due[:m-1]
+		hintDue = true
+	}
+
+	// Joins and leaves.
+	for _, h := range r.due {
+		if h&1 == 0 {
+			r.lifecycle(int(h>>1), now)
+		}
+	}
+
+	// Decision epochs and warm-up expiry, owned by each session. The
+	// popped deadline handles are exactly the sessions the scan loop's
+	// deadline check would not skip; exact mode ticks every live
+	// session every step, as the always-tick loop does.
+	if r.exact {
+		sen := int32(len(s.parts))
+		for i := r.next[sen]; i != sen; i = r.next[i] {
+			r.tickSession(int(i), now)
+		}
+	} else {
+		for _, h := range r.due {
+			if h&1 == 1 {
+				r.tickSession(int(h>>1), now)
+			}
+		}
+	}
+
+	if r.exact {
+		eng.Step(r.tick)
+	} else {
+		if hintDue {
+			// Refresh the engine estimate lazily: it is advisory
+			// (RunTicks re-verifies every tick and stops at real
+			// file-count events), so a stale value can only change how
+			// often the loop regains control, never what it observes.
+			r.hz.push(r.hint, eng.NextEvent())
+		}
+		eng.RunTicks(r.batch(now), r.tick)
+	}
+
+	// Completion bookkeeping: the engine reports which tasks drained
+	// during the advance; tasks that were already done when they
+	// joined were queued by lifecycle. Sorting recovers the scan
+	// loop's part-order sweep.
+	for _, id := range eng.Drained() {
+		if i, ok := s.partIndex(id); ok {
+			r.done = append(r.done, int32(i))
+		}
+	}
+	if len(r.done) > 0 {
+		slices.Sort(r.done)
+		end := eng.Now()
+		last := int32(-1)
+		for _, i := range r.done {
+			if i == last {
+				continue
+			}
+			last = i
+			e := s.parts[i]
+			if e.sess != nil && !e.sess.Finished() && e.p.Task.Done() {
+				eng.RemoveTask(e.p.Task.ID())
+				e.sess.Finish(end)
+				r.hz.remove(2*i + 1)
+				r.hz.remove(2 * i)
+				r.unlink(i)
+			}
+		}
+		r.done = r.done[:0]
+	}
+
+	// Recording.
+	if eng.Now() >= r.nextRecord {
+		t := eng.Now()
+		sen := int32(len(s.parts))
+		for i := r.next[sen]; i != sen; i = r.next[i] {
+			id := s.parts[i].p.Task.ID()
+			r.tl.Throughput.Append(id, t, eng.CurrentRate(id)/1e9)
+		}
+		r.nextRecord = t + s.record
+	}
+	return true
+}
+
+// lifecycle handles part i's due lifecycle horizon: its join if the
+// session does not exist yet, a pending leave otherwise. The body is
+// the scan loop's join/leave block verbatim.
+func (r *queueRun) lifecycle(i int, now float64) {
+	s := r.s
+	e := s.parts[i]
+	if e.sess == nil {
+		id := e.p.Task.ID()
+		env, err := NewSimEnvironment(s.eng, e.p.Task)
+		if err != nil {
+			panic(fmt.Sprintf("testbed: join %q: %v", id, err))
+		}
+		sess, err := session.New(env, e.p.Controller, session.Config{
+			ID:       id,
+			Interval: e.interval,
+			Warmup:   s.Warmup,
+			Events:   r.sink,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("testbed: session %q: %v", id, err))
+		}
+		e.sess = sess
+		end := r.until
+		if e.p.LeaveAt > 0 && e.p.LeaveAt < end {
+			end = e.p.LeaveAt
+		}
+		if remaining := end - now; remaining > 0 {
+			epochs := int(remaining/e.interval) + 2
+			r.tl.Throughput.Get(id).Grow(int(remaining/s.record) + 2)
+			r.tl.Concurrency.Get(id).Grow(epochs)
+			r.tl.Loss.Get(id).Grow(epochs)
+		}
+		r.link(int32(i))
+		sess.Start(now, e.p.Task.Setting())
+		if !r.exact {
+			r.hz.push(int32(2*i+1), sess.NextDeadline())
+		}
+		if e.p.Task.Done() {
+			// Joined already drained (empty horizon): the scan loop's
+			// completion sweep catches this right after the advance.
+			r.done = append(r.done, int32(i))
+		}
+		if e.p.LeaveAt > 0 {
+			if now >= e.p.LeaveAt {
+				r.leave(i, now)
+			} else {
+				r.hz.push(int32(2*i), e.p.LeaveAt)
+			}
+		}
+		return
+	}
+	if !e.sess.Finished() && e.p.LeaveAt > 0 && now >= e.p.LeaveAt {
+		r.leave(i, now)
+	}
+}
+
+// leave removes part i's task and closes its session, dropping all of
+// its heap entries and its live-list node.
+func (r *queueRun) leave(i int, now float64) {
+	e := r.s.parts[i]
+	r.s.eng.RemoveTask(e.p.Task.ID())
+	e.sess.Leave(now)
+	r.hz.remove(int32(2*i + 1))
+	r.hz.remove(int32(2 * i))
+	r.unlink(int32(i))
+}
+
+// tickSession ticks part i's session and re-arms its deadline horizon.
+func (r *queueRun) tickSession(i int, now float64) {
+	e := r.s.parts[i]
+	if e.sess == nil || e.sess.Finished() {
+		return
+	}
+	if err := e.sess.Tick(now); err != nil {
+		panic(fmt.Sprintf("testbed: controller for %q produced invalid setting: %v", e.p.Task.ID(), err))
+	}
+	if !r.exact {
+		r.hz.push(int32(2*i+1), e.sess.NextDeadline())
+	}
+}
+
+// batch sizes one macro-step from the heap minimum — the same
+// replayed-clock loop as the scan path's batchTicks with the O(parts)
+// horizon scan replaced by the heap root. At this point the heap holds
+// every pending join and leave, every live session's post-Tick
+// deadline, and the engine estimate, so the bound matches batchTicks'
+// up to estimate staleness, which is advisory only.
+func (r *queueRun) batch(now float64) int {
+	h := r.hz.minKey()
+	k, t := 0, now
+	for t < r.until && t < h {
+		t += r.tick
+		k++
+		if t >= r.nextRecord {
+			break
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// link inserts part i into the live list keeping ascending index
+// order. Fleets join in part order, so the common case is an O(1)
+// tail append; out-of-order joins walk back from the tail.
+func (r *queueRun) link(i int32) {
+	sen := int32(len(r.s.parts))
+	p := r.prev[sen]
+	for p != sen && p > i {
+		p = r.prev[p]
+	}
+	nx := r.next[p]
+	r.prev[i], r.next[i] = p, nx
+	r.next[p], r.prev[nx] = i, i
+}
+
+func (r *queueRun) unlink(i int32) {
+	p, nx := r.prev[i], r.next[i]
+	r.next[p], r.prev[nx] = nx, p
+}

@@ -1,0 +1,256 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/session"
+	"repro/internal/transfer"
+)
+
+// fleetScenario builds a mixed fleet designed to stress every ordering
+// decision the event-queue scheduler makes: staggered joins with many
+// identical join times, departures at identical leave times, small
+// tasks that drain mid-run, sessions sharing the default sample
+// interval (identical decision deadlines every epoch), and a few
+// off-cadence intervals so deadlines also interleave.
+func fleetScenario(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	shared := dataset.Uniform("eq-fleet", 5000, int64(dataset.GB))
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("eq%04d", i)
+		var task *transfer.Task
+		var err error
+		if i%7 == 3 {
+			// Finisher: drains well inside the horizon at any fleet
+			// size (≈2 Gb against a ≥80 Mbps max-min share).
+			task, err = transfer.NewTask(id, dataset.Uniform(id, 4, 64_000_000),
+				transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1})
+		} else {
+			task, err = transfer.NewTask(id, shared,
+				transfer.Setting{Concurrency: 1 + i%4, Parallelism: 1, Pipelining: 1})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Participant{Task: task, JoinAt: float64(i%5) * 7}
+		if i%3 == 0 {
+			ci := new(int)
+			p.Controller = cycler{vals: []int{2, 4, 4, 3, 5}, i: ci}
+		}
+		if i%11 == 5 {
+			// Departures in identical-time clusters (60, 70, 80 s).
+			p.LeaveAt = 60 + float64(i%3)*10
+		}
+		if i%13 == 8 {
+			p.SampleInterval = 2.5
+		}
+		if err := s.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEventQueueSchedulerIsTransparent: the event-queue orchestrator is
+// a pure fast path — on a fleet with mixed joins, leaves, mid-run
+// finishes, and identically-timed deadlines it must produce a timeline
+// and a session event stream identical, event for event, to the legacy
+// linear-scan loop, at both a small (45) and a large (500) fleet and in
+// both exact and batched stepping modes.
+func TestEventQueueSchedulerIsTransparent(t *testing.T) {
+	type outcome struct {
+		tl     *Timeline
+		events []session.Event
+	}
+	run := func(n int, horizon float64, queue, exact bool) outcome {
+		eng, err := NewEngine(HPCLab(), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetExact(exact)
+		s := NewScheduler(eng, 1)
+		s.SetEventQueue(queue)
+		var events []session.Event
+		s.SetEventSink(func(e session.Event) { events = append(events, e) })
+		fleetScenario(t, s, n)
+		return outcome{tl: s.Run(horizon, 0.25), events: events}
+	}
+	for _, tc := range []struct {
+		n       int
+		horizon float64
+	}{
+		{n: 45, horizon: 120},
+		{n: 500, horizon: 90},
+	} {
+		for _, exact := range []bool{false, true} {
+			name := fmt.Sprintf("n=%d/exact=%v", tc.n, exact)
+			t.Run(name, func(t *testing.T) {
+				queue := run(tc.n, tc.horizon, true, exact)
+				scan := run(tc.n, tc.horizon, false, exact)
+
+				if len(queue.tl.Finished) == 0 {
+					t.Fatal("scenario did not exercise completion: no task finished")
+				}
+				sawLeave := false
+				for _, e := range queue.events {
+					if e.Kind == session.Leave {
+						sawLeave = true
+						break
+					}
+				}
+				if !sawLeave {
+					t.Fatal("scenario did not exercise departure: no Leave event")
+				}
+				if !reflect.DeepEqual(queue.tl, scan.tl) {
+					t.Error("event-queue timeline differs from linear-scan timeline")
+				}
+				if len(queue.events) != len(scan.events) {
+					t.Fatalf("event counts differ: queue %d, scan %d", len(queue.events), len(scan.events))
+				}
+				for i := range queue.events {
+					if !reflect.DeepEqual(queue.events[i], scan.events[i]) {
+						t.Fatalf("event %d differs:\n  queue: %+v\n  scan:  %+v", i, queue.events[i], scan.events[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// heapOracle mirrors a horizonHeap as a flat membership table; due and
+// min queries sort (key, handle) pairs the slow, obvious way.
+type heapOracle struct {
+	key []float64
+	in  []bool
+}
+
+func (o *heapOracle) sortedDue(now float64) []int32 {
+	var due []int32
+	for h, in := range o.in {
+		if in && o.key[h] <= now {
+			due = append(due, int32(h))
+		}
+	}
+	sort.Slice(due, func(i, j int) bool {
+		a, b := due[i], due[j]
+		return o.key[a] < o.key[b] || (o.key[a] == o.key[b] && a < b)
+	})
+	return due
+}
+
+func (o *heapOracle) min() (float64, bool) {
+	best, ok := math.Inf(1), false
+	for h, in := range o.in {
+		if in && (!ok || o.key[h] < best) {
+			best, ok = o.key[h], true
+		}
+	}
+	return best, ok
+}
+
+func (o *heapOracle) size() int {
+	n := 0
+	for _, in := range o.in {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// TestHorizonHeapProperty drives the indexed heap with a seeded random
+// sequence of push/update/remove/popDue operations against the
+// sorted-slice oracle. Keys are drawn from a small discrete set so key
+// ties are frequent and the (key, handle) tie-break is exercised on
+// nearly every pop.
+func TestHorizonHeapProperty(t *testing.T) {
+	const handles = 96
+	rng := rand.New(rand.NewSource(20260808))
+	var h horizonHeap
+	h.init(handles)
+	o := heapOracle{key: make([]float64, handles), in: make([]bool, handles)}
+
+	checkInvariants := func(step int) {
+		t.Helper()
+		if h.len() != o.size() {
+			t.Fatalf("step %d: heap len %d, oracle size %d", step, h.len(), o.size())
+		}
+		for hd := int32(0); hd < handles; hd++ {
+			p := h.pos[hd]
+			if (p >= 0) != o.in[hd] {
+				t.Fatalf("step %d: handle %d membership: heap %v, oracle %v", step, hd, p >= 0, o.in[hd])
+			}
+			if p >= 0 {
+				if h.heap[p] != hd {
+					t.Fatalf("step %d: pos[%d]=%d but heap[%d]=%d", step, hd, p, p, h.heap[p])
+				}
+				if h.key[hd] != o.key[hd] {
+					t.Fatalf("step %d: handle %d key: heap %v, oracle %v", step, hd, h.key[hd], o.key[hd])
+				}
+			}
+		}
+		for i := 1; i < len(h.heap); i++ {
+			parent := h.heap[(i-1)/2]
+			if h.less(h.heap[i], parent) {
+				t.Fatalf("step %d: heap order violated at index %d", step, i)
+			}
+		}
+		want, ok := o.min()
+		if got := h.minKey(); ok && got != want {
+			t.Fatalf("step %d: minKey %v, oracle %v", step, got, want)
+		} else if !ok && !math.IsInf(got, 1) {
+			t.Fatalf("step %d: minKey on empty heap = %v, want +Inf", step, got)
+		}
+	}
+
+	randKey := func() float64 { return float64(rng.Intn(24)) / 4 }
+	var buf []int32
+	for step := 0; step < 6000; step++ {
+		hd := int32(rng.Intn(handles))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // push (insert or re-key)
+			k := randKey()
+			h.push(hd, k)
+			o.key[hd], o.in[hd] = k, true
+		case 4: // update only if present, matching caller discipline
+			if h.pos[hd] >= 0 {
+				k := randKey()
+				h.update(hd, k)
+				o.key[hd] = k
+			}
+		case 5, 6: // remove (absent handles must be a no-op)
+			h.remove(hd)
+			o.in[hd] = false
+		default: // popDue at a random cutoff
+			now := randKey()
+			buf = h.popDue(now, buf[:0])
+			want := o.sortedDue(now)
+			if !reflect.DeepEqual(append([]int32{}, buf...), append([]int32{}, want...)) {
+				t.Fatalf("step %d: popDue(%v) = %v, oracle %v", step, now, buf, want)
+			}
+			for _, d := range want {
+				o.in[d] = false
+			}
+		}
+		if step%97 == 0 {
+			checkInvariants(step)
+		}
+	}
+	checkInvariants(6000)
+
+	// Drain completely: the pop sequence must be the oracle's full
+	// (key, handle) sort, and the heap must end empty.
+	buf = h.popDue(math.Inf(1), buf[:0])
+	want := o.sortedDue(math.Inf(1))
+	if !reflect.DeepEqual(append([]int32{}, buf...), append([]int32{}, want...)) {
+		t.Fatalf("final drain = %v, oracle %v", buf, want)
+	}
+	if h.len() != 0 || h.minKey() != math.Inf(1) {
+		t.Fatalf("heap not empty after drain: len %d", h.len())
+	}
+}

@@ -1,0 +1,124 @@
+package testbed
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/transfer"
+)
+
+// fleetBench is the 10k-session orchestration workload: a fleet of
+// endless transfers (one shared huge-file dataset, so no completion
+// events and negligible memory) with staggered joins and sample
+// intervals spread over 3–15 s, so each 0.25 s tick has a few hundred
+// deadlines due out of the full fleet — the regime where the scan
+// loop's O(sessions) per-step passes dwarf the due set.
+type fleetBench struct {
+	eng *Engine
+	s   *Scheduler
+	run interface{ step() bool }
+}
+
+func newFleetBench(b *testing.B, n int, queue bool) *fleetBench {
+	b.Helper()
+	eng, err := NewEngine(HPCLab(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewScheduler(eng, 5)
+	s.SetEventQueue(queue)
+	ds := dataset.Uniform("fleet-bench", 64, 400*int64(dataset.TB))
+	settings := []int{2, 4, 6, 8}
+	for i := 0; i < n; i++ {
+		task, err := transfer.NewTask(fmt.Sprintf("t%d", i), ds,
+			transfer.Setting{Concurrency: settings[i%len(settings)], Parallelism: 1, Pipelining: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Add(Participant{
+			Task:           task,
+			JoinAt:         float64(i%12) * 0.25,
+			SampleInterval: 3 + 0.25*float64(i%49),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	f := &fleetBench{eng: eng, s: s}
+	const until = 600
+	if queue {
+		f.run = s.newQueueRun(until, 0.25)
+	} else {
+		f.run = s.newScanRun(until, 0.25)
+	}
+	// Drive past every join and the first decision epochs so the timed
+	// loop measures the steady state, not session construction.
+	for eng.Now() < 20 {
+		f.run.step()
+	}
+	return f
+}
+
+// benchFleetStep times one scheduler macro-step at fleet scale. The
+// run is rebuilt (untimed) whenever the 600 s horizon drains.
+func benchFleetStep(b *testing.B, n int, queue bool) {
+	f := newFleetBench(b, n, queue)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.run.step() {
+			b.StopTimer()
+			f = newFleetBench(b, n, queue)
+			b.StartTimer()
+			f.run.step()
+		}
+	}
+}
+
+// BenchmarkFleetStep10k is the tentpole number: per-macro-step cost of
+// the event-queue scheduler over 10k sessions. Must run at 0 allocs/op
+// — the orchestration loop touches only preallocated heap, list, and
+// series storage.
+func BenchmarkFleetStep10k(b *testing.B) { benchFleetStep(b, 10000, true) }
+
+// BenchmarkFleetStep10kScan is the A/B baseline: the same workload on
+// the legacy linear-scan loop.
+func BenchmarkFleetStep10kScan(b *testing.B) { benchFleetStep(b, 10000, false) }
+
+// BenchmarkFleetStep1k / BenchmarkFleetStep1kScan pin the scaling
+// story: the queue path's overhead above the engine grows with the due
+// set, the scan path's with the fleet.
+func BenchmarkFleetStep1k(b *testing.B) { benchFleetStep(b, 1000, true) }
+
+func BenchmarkFleetStep1kScan(b *testing.B) { benchFleetStep(b, 1000, false) }
+
+// BenchmarkFleetEngine10k is the floor under both scheduler paths: the
+// bare engine advancing the same 10k tasks one tick per op, no
+// orchestration at all. Scheduler overhead is the Step benchmarks
+// minus this.
+func BenchmarkFleetEngine10k(b *testing.B) {
+	eng, err := NewEngine(HPCLab(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.Uniform("fleet-bench", 64, 400*int64(dataset.TB))
+	settings := []int{2, 4, 6, 8}
+	for i := 0; i < 10000; i++ {
+		task, err := transfer.NewTask(fmt.Sprintf("t%d", i), ds,
+			transfer.Setting{Concurrency: settings[i%len(settings)], Parallelism: 1, Pipelining: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.AddTask(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		eng.Step(0.25)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(0.25)
+	}
+}

@@ -97,9 +97,11 @@ func (tl *Timeline) Sink() session.Sink {
 type Scheduler struct {
 	eng     *Engine
 	parts   []*schedEntry
-	record  float64 // recording interval, seconds
+	byID    map[string]int // task ID → index in parts
+	record  float64        // recording interval, seconds
 	verbose func(format string, args ...any)
 	events  session.Sink // optional external event consumer
+	queue   bool         // event-queue orchestration (default); false = legacy scan loop
 
 	// Warmup is how long after a setting change the measurement window
 	// is discarded before metrics accumulate, excluding the TCP
@@ -115,13 +117,46 @@ type schedEntry struct {
 	sess     *session.Session // created at join time
 }
 
+// defaultEventQueue seeds every new scheduler's orchestration mode.
+// Commands flip it once at startup (the -scan flags) before building
+// schedulers, mirroring defaultExact.
+var defaultEventQueue = true
+
+// SetDefaultEventQueue makes schedulers built afterwards start with
+// (true) or without (false) event-queue orchestration. The scan loop
+// is the A/B and transparency baseline; both produce byte-identical
+// timelines and event streams. Call before constructing schedulers.
+func SetDefaultEventQueue(v bool) { defaultEventQueue = v }
+
+// SetEventQueue enables (true) or disables (false) event-queue
+// orchestration for this scheduler. Must be called before Run.
+func (s *Scheduler) SetEventQueue(v bool) { s.queue = v }
+
 // NewScheduler wraps an engine. recordInterval controls the granularity
 // of the throughput timeline (seconds); values ≤ 0 default to 1 s.
 func NewScheduler(eng *Engine, recordInterval float64) *Scheduler {
 	if recordInterval <= 0 {
 		recordInterval = 1
 	}
-	return &Scheduler{eng: eng, record: recordInterval, Warmup: 1}
+	return &Scheduler{eng: eng, record: recordInterval, Warmup: 1, queue: defaultEventQueue}
+}
+
+// smallFleet is the participant count below which the scheduler keeps
+// linear ID lookups instead of building its byID index.
+const smallFleet = 16
+
+// partIndex returns the parts index of the given task ID.
+func (s *Scheduler) partIndex(id string) (int, bool) {
+	if s.byID != nil {
+		i, ok := s.byID[id]
+		return i, ok
+	}
+	for i, e := range s.parts {
+		if e.p.Task.ID() == id {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // SetLogf installs an optional progress logger.
@@ -144,14 +179,21 @@ func (s *Scheduler) Add(p Participant) error {
 	if p.LeaveAt != 0 && p.LeaveAt <= p.JoinAt {
 		return fmt.Errorf("testbed: participant %q LeaveAt %v not after JoinAt %v", p.Task.ID(), p.LeaveAt, p.JoinAt)
 	}
-	for _, e := range s.parts {
-		if e.p.Task.ID() == p.Task.ID() {
-			return fmt.Errorf("testbed: duplicate participant %q", p.Task.ID())
-		}
+	if _, dup := s.partIndex(p.Task.ID()); dup {
+		return fmt.Errorf("testbed: duplicate participant %q", p.Task.ID())
 	}
 	interval := p.SampleInterval
 	if interval <= 0 {
 		interval = s.eng.Config().SampleInterval
+	}
+	if s.byID == nil && len(s.parts)+1 > smallFleet {
+		s.byID = make(map[string]int, 2*len(s.parts))
+		for i, e := range s.parts {
+			s.byID[e.p.Task.ID()] = i
+		}
+	}
+	if s.byID != nil {
+		s.byID[p.Task.ID()] = len(s.parts)
 	}
 	s.parts = append(s.parts, &schedEntry{p: p, interval: interval})
 	return nil
@@ -171,102 +213,149 @@ func (s *Scheduler) Add(p Participant) error {
 // engine in exact mode every tick is a full Step and every live
 // session is Ticked every step — the original always-tick loop. Both
 // paths execute identical per-tick arithmetic and produce identical
-// timelines and event streams. Run panics on non-positive tick or
-// horizon — driver bugs.
+// timelines and event streams.
+//
+// By default the loop is orchestrated by an event queue (see
+// eventqueue.go): an indexed min-heap of horizons pops only the
+// sessions whose deadlines are actually due each macro-step, so
+// per-step orchestration cost scales with the due set rather than the
+// fleet size. SetEventQueue(false) (or the cmds' -scan flags) selects
+// the legacy linear-scan loop, the A/B baseline the transparency tests
+// pin the heap path against — both produce byte-identical timelines
+// and event streams. Run panics on non-positive tick or horizon —
+// driver bugs.
 func (s *Scheduler) Run(until, tick float64) *Timeline {
 	if tick <= 0 || until <= 0 {
 		panic(fmt.Sprintf("testbed: Run(until=%v, tick=%v) invalid", until, tick))
 	}
+	if s.queue {
+		r := s.newQueueRun(until, tick)
+		for r.step() {
+		}
+		return r.tl
+	}
+	r := s.newScanRun(until, tick)
+	for r.step() {
+	}
+	return r.tl
+}
+
+// scanRun is one Run invocation on the legacy scan path: every
+// macro-step visits every participant. Retained behind
+// SetEventQueue(false) as the A/B and transparency baseline for the
+// event-queue orchestrator.
+type scanRun struct {
+	s          *Scheduler
+	until      float64
+	tick       float64
+	exact      bool
+	tl         *Timeline
+	sink       session.Sink
+	nextRecord float64
+}
+
+func (s *Scheduler) newScanRun(until, tick float64) *scanRun {
 	tl := &Timeline{Finished: make(map[string]float64)}
-	sink := session.MultiSink(tl.Sink(), s.logSink(), s.events)
-	nextRecord := 0.0
-	exact := s.eng.Exact()
+	return &scanRun{
+		s:     s,
+		until: until,
+		tick:  tick,
+		exact: s.eng.Exact(),
+		tl:    tl,
+		sink:  session.MultiSink(tl.Sink(), s.logSink(), s.events),
+	}
+}
 
-	for s.eng.Now() < until {
-		now := s.eng.Now()
+// step executes one macro-step of the scan loop; it reports false once
+// the horizon is reached.
+func (r *scanRun) step() bool {
+	s := r.s
+	if s.eng.Now() >= r.until {
+		return false
+	}
+	now := s.eng.Now()
 
-		// Joins and leaves.
-		for _, e := range s.parts {
-			id := e.p.Task.ID()
-			if e.sess == nil && now >= e.p.JoinAt {
-				env, err := NewSimEnvironment(s.eng, e.p.Task)
-				if err != nil {
-					panic(fmt.Sprintf("testbed: join %q: %v", id, err))
-				}
-				sess, err := session.New(env, e.p.Controller, session.Config{
-					ID:       id,
-					Interval: e.interval,
-					Warmup:   s.Warmup,
-					Events:   sink,
-				})
-				if err != nil {
-					panic(fmt.Sprintf("testbed: session %q: %v", id, err))
-				}
-				e.sess = sess
-				// The horizon fixes how many points this session can
-				// record: one throughput sample per recording interval
-				// and one concurrency/loss point per decision epoch.
-				// Reserving them now keeps the append path in the run
-				// loop allocation-free.
-				end := until
-				if e.p.LeaveAt > 0 && e.p.LeaveAt < end {
-					end = e.p.LeaveAt
-				}
-				if remaining := end - now; remaining > 0 {
-					epochs := int(remaining/e.interval) + 2
-					tl.Throughput.Get(id).Grow(int(remaining/s.record) + 2)
-					tl.Concurrency.Get(id).Grow(epochs)
-					tl.Loss.Get(id).Grow(epochs)
-				}
-				sess.Start(now, e.p.Task.Setting())
+	// Joins and leaves.
+	for _, e := range s.parts {
+		id := e.p.Task.ID()
+		if e.sess == nil && now >= e.p.JoinAt {
+			env, err := NewSimEnvironment(s.eng, e.p.Task)
+			if err != nil {
+				panic(fmt.Sprintf("testbed: join %q: %v", id, err))
 			}
-			if e.sess != nil && !e.sess.Finished() && e.p.LeaveAt > 0 && now >= e.p.LeaveAt {
-				s.eng.RemoveTask(id)
-				e.sess.Leave(now)
+			sess, err := session.New(env, e.p.Controller, session.Config{
+				ID:       id,
+				Interval: e.interval,
+				Warmup:   s.Warmup,
+				Events:   r.sink,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("testbed: session %q: %v", id, err))
 			}
+			e.sess = sess
+			// The horizon fixes how many points this session can
+			// record: one throughput sample per recording interval
+			// and one concurrency/loss point per decision epoch.
+			// Reserving them now keeps the append path in the run
+			// loop allocation-free.
+			end := r.until
+			if e.p.LeaveAt > 0 && e.p.LeaveAt < end {
+				end = e.p.LeaveAt
+			}
+			if remaining := end - now; remaining > 0 {
+				epochs := int(remaining/e.interval) + 2
+				r.tl.Throughput.Get(id).Grow(int(remaining/s.record) + 2)
+				r.tl.Concurrency.Get(id).Grow(epochs)
+				r.tl.Loss.Get(id).Grow(epochs)
+			}
+			sess.Start(now, e.p.Task.Setting())
 		}
-
-		// Decision epochs and warm-up expiry, owned by each session. A
-		// Tick before the session's deadline is a no-op by construction,
-		// so the batched path skips the call entirely.
-		for _, e := range s.parts {
-			if e.sess == nil || e.sess.Finished() {
-				continue
-			}
-			if !exact && now < e.sess.NextDeadline() {
-				continue
-			}
-			if err := e.sess.Tick(now); err != nil {
-				panic(fmt.Sprintf("testbed: controller for %q produced invalid setting: %v", e.p.Task.ID(), err))
-			}
-		}
-
-		if exact {
-			s.eng.Step(tick)
-		} else {
-			s.eng.RunTicks(s.batchTicks(now, until, tick, nextRecord), tick)
-		}
-
-		// Completion bookkeeping.
-		for _, e := range s.parts {
-			if e.sess != nil && !e.sess.Finished() && e.p.Task.Done() {
-				s.eng.RemoveTask(e.p.Task.ID())
-				e.sess.Finish(s.eng.Now())
-			}
-		}
-
-		// Recording.
-		if s.eng.Now() >= nextRecord {
-			for _, e := range s.parts {
-				if e.sess != nil && !e.sess.Finished() {
-					id := e.p.Task.ID()
-					tl.Throughput.Append(id, s.eng.Now(), s.eng.CurrentRate(id)/1e9)
-				}
-			}
-			nextRecord = s.eng.Now() + s.record
+		if e.sess != nil && !e.sess.Finished() && e.p.LeaveAt > 0 && now >= e.p.LeaveAt {
+			s.eng.RemoveTask(id)
+			e.sess.Leave(now)
 		}
 	}
-	return tl
+
+	// Decision epochs and warm-up expiry, owned by each session. A
+	// Tick before the session's deadline is a no-op by construction,
+	// so the batched path skips the call entirely.
+	for _, e := range s.parts {
+		if e.sess == nil || e.sess.Finished() {
+			continue
+		}
+		if !r.exact && now < e.sess.NextDeadline() {
+			continue
+		}
+		if err := e.sess.Tick(now); err != nil {
+			panic(fmt.Sprintf("testbed: controller for %q produced invalid setting: %v", e.p.Task.ID(), err))
+		}
+	}
+
+	if r.exact {
+		s.eng.Step(r.tick)
+	} else {
+		s.eng.RunTicks(s.batchTicks(now, r.until, r.tick, r.nextRecord), r.tick)
+	}
+
+	// Completion bookkeeping.
+	for _, e := range s.parts {
+		if e.sess != nil && !e.sess.Finished() && e.p.Task.Done() {
+			s.eng.RemoveTask(e.p.Task.ID())
+			e.sess.Finish(s.eng.Now())
+		}
+	}
+
+	// Recording.
+	if s.eng.Now() >= r.nextRecord {
+		for _, e := range s.parts {
+			if e.sess != nil && !e.sess.Finished() {
+				id := e.p.Task.ID()
+				r.tl.Throughput.Append(id, s.eng.Now(), s.eng.CurrentRate(id)/1e9)
+			}
+		}
+		r.nextRecord = s.eng.Now() + s.record
+	}
+	return true
 }
 
 // batchTicks sizes one macro-step: the number of consecutive ticks the

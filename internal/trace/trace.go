@@ -130,17 +130,78 @@ func (s *Series) ConvergenceTime(target, tol, hold float64) float64 {
 // TimeSet is a collection of named series sharing a time axis.
 type TimeSet struct {
 	Series []*Series
+
+	// index maps name → series so Get/Lookup stay O(1) at fleet scale
+	// (tens of thousands of series). Small sets — the common
+	// few-task experiment — stay on the linear scan and never pay the
+	// map allocations; the index is built when the set outgrows
+	// smallSetScan (or a Reserve announces fleet scale) and rebuilt
+	// lazily whenever the exported Series slice was mutated directly
+	// (struct literals, hand appends). Series remains the source of
+	// truth.
+	index map[string]*Series
+}
+
+// smallSetScan is the series count below which a TimeSet keeps linear
+// lookups instead of building its name index.
+const smallSetScan = 16
+
+// Reserve pre-sizes the series slice for n additional series, so
+// recorders that know their fleet size up front keep the creation path
+// free of incremental growth. The name index is deliberately left to
+// Get's own threshold: index state stays a pure function of the
+// series-creation sequence, so runs that build identical series
+// compare deeply equal however the recorder was sized.
+func (ts *TimeSet) Reserve(n int) {
+	if cap(ts.Series)-len(ts.Series) < n {
+		grown := make([]*Series, len(ts.Series), len(ts.Series)+n)
+		copy(grown, ts.Series)
+		ts.Series = grown
+	}
+}
+
+// buildIndex (re)builds the name index with room for n series.
+// Duplicate names resolve to the first occurrence, as the linear scan
+// does.
+func (ts *TimeSet) buildIndex(n int) {
+	ts.index = make(map[string]*Series, n)
+	for _, s := range ts.Series {
+		if _, ok := ts.index[s.Name]; !ok {
+			ts.index[s.Name] = s
+		}
+	}
+}
+
+// lookup returns the named series or nil, via the index when one
+// exists (syncing it first if Series was modified behind its back) and
+// the linear scan otherwise.
+func (ts *TimeSet) lookup(name string) *Series {
+	if ts.index == nil {
+		for _, s := range ts.Series {
+			if s.Name == name {
+				return s
+			}
+		}
+		return nil
+	}
+	if len(ts.index) != len(ts.Series) {
+		ts.buildIndex(len(ts.Series))
+	}
+	return ts.index[name]
 }
 
 // Get returns the series with the given name, creating it if needed.
 func (ts *TimeSet) Get(name string) *Series {
-	for _, s := range ts.Series {
-		if s.Name == name {
-			return s
-		}
+	if s := ts.lookup(name); s != nil {
+		return s
 	}
 	s := &Series{Name: name}
 	ts.Series = append(ts.Series, s)
+	if ts.index != nil {
+		ts.index[name] = s
+	} else if len(ts.Series) > smallSetScan {
+		ts.buildIndex(2 * len(ts.Series))
+	}
 	return s
 }
 
@@ -152,12 +213,7 @@ func (ts *TimeSet) Append(name string, t, v float64) {
 
 // Lookup returns the series with the given name, or nil.
 func (ts *TimeSet) Lookup(name string) *Series {
-	for _, s := range ts.Series {
-		if s.Name == name {
-			return s
-		}
-	}
-	return nil
+	return ts.lookup(name)
 }
 
 // Names returns the sorted series names.
