@@ -26,8 +26,10 @@ bench-raw:
 reproduce:
 	$(GO) run ./cmd/reproduce
 
-# Full gate: static checks, build, and the race-enabled suite.
+# Full gate: static checks, build, the race-enabled suite, and every
+# checked-in scenario document parsing AND compiling.
 verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) run ./cmd/falconsim -validate ./examples/scenarios

@@ -8,18 +8,23 @@
 //	          [-agents N] [-stagger SECONDS] [-duration SECONDS]
 //	          [-seed N] [-chart] [-exact]
 //	          [-cpuprofile FILE] [-memprofile FILE]
+//	falconsim -scenario FILE.json [-seed N] [-chart] [-exact]
+//	falconsim -validate FILE.json|DIR...
 //
 // Examples:
 //
 //	falconsim -testbed emulab -algo gd
 //	falconsim -testbed hpclab -algo bo -agents 3 -stagger 120
 //	falconsim -testbed emulab-1g -algo fixed:48 -duration 120
+//	falconsim -scenario examples/scenarios/fleet-flap.json
+//	falconsim -validate examples/scenarios
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -28,6 +33,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/scenario"
 	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -39,23 +45,11 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
+// pickTestbed resolves a named environment through the scenario
+// subsystem's preset table, so the CLI, the webservice, and scenario
+// documents share one name space.
 func pickTestbed(name string) (testbed.Config, bool) {
-	switch name {
-	case "emulab":
-		return testbed.Emulab(10e6), true
-	case "emulab-1g":
-		return testbed.EmulabGigabit(20.83e6), true
-	case "xsede":
-		return testbed.XSEDE(), true
-	case "hpclab":
-		return testbed.HPCLab(), true
-	case "campus":
-		return testbed.CampusCluster(), true
-	case "wan":
-		return testbed.StampedeCometWAN(), true
-	default:
-		return testbed.Config{}, false
-	}
+	return scenario.PresetConfig(name)
 }
 
 func makeController(algo string, maxN int, seed int64) (testbed.Controller, transfer.Setting, error) {
@@ -88,8 +82,153 @@ func makeController(algo string, maxN int, seed int64) (testbed.Controller, tran
 	}
 }
 
+// eventSink prints the typed session event stream as it happens.
+func eventSink(e session.Event) {
+	switch e.Kind {
+	case session.Sample:
+		fmt.Printf("event t=%7.2f %-8s %-9s %.3f Gbps loss=%.4f\n",
+			e.Time, e.Session, e.Kind, e.Sample.Throughput/1e9, e.Sample.Loss)
+	case session.Decision, session.Apply:
+		fmt.Printf("event t=%7.2f %-8s %-9s %s\n", e.Time, e.Session, e.Kind, e.Setting)
+	case session.Error:
+		fmt.Printf("event t=%7.2f %-8s %-9s %v\n", e.Time, e.Session, e.Kind, e.Err)
+	default:
+		fmt.Printf("event t=%7.2f %-8s %-9s\n", e.Time, e.Session, e.Kind)
+	}
+}
+
+// summarize prints the per-agent table, Jain index, and charts.
+func summarize(tl *testbed.Timeline, ids []string, duration float64, chart bool) {
+	fmt.Printf("%-10s %-18s %-14s\n", "agent", "mean Gbps (2nd half)", "mean cc")
+	var shares []float64
+	for _, id := range ids {
+		tput := tl.MeanThroughputGbps(id, duration/2, duration)
+		shares = append(shares, tput)
+		cc := 0.0
+		if s := tl.Concurrency.Lookup(id); s != nil {
+			cc = s.MeanAfter(duration / 2)
+		}
+		fmt.Printf("%-10s %-18.3f %-14.1f\n", id, tput, cc)
+	}
+	if len(ids) > 1 {
+		fmt.Printf("Jain fairness index: %.3f\n", stats.JainIndex(shares))
+	}
+	if chart {
+		fmt.Printf("\nthroughput (Gbps):\n%s", tl.Throughput.ASCIIChart(72, 12))
+		fmt.Printf("\nconcurrency:\n%s", tl.Concurrency.ASCIIChart(72, 12))
+	}
+}
+
+// validateScenarios validates every scenario file in the given files
+// or directories (non-recursive, *.json) and reports per-file status.
+func validateScenarios(paths []string) int {
+	if len(paths) == 0 {
+		fail("-validate needs scenario files or directories")
+	}
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			fail("%v", err)
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(p, "*.json"))
+		if err != nil {
+			fail("%v", err)
+		}
+		if len(matches) == 0 {
+			fail("no scenario files in %s", p)
+		}
+		files = append(files, matches...)
+	}
+	bad := 0
+	for _, f := range files {
+		doc, err := scenario.ParseFile(f)
+		if err == nil {
+			// A valid document must also compile: controller names,
+			// route existence, and cross-traffic rates are only checked
+			// by Build.
+			_, err = doc.Build()
+		}
+		if err != nil {
+			bad++
+			fmt.Printf("FAIL %s: %v\n", f, err)
+			continue
+		}
+		fmt.Printf("ok   %s (%s: %d agents, %d mutations)\n", f, doc.Name, len(doc.AgentIDs()), len(doc.Mutations))
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runScenarioFile executes a scenario document end to end.
+func runScenarioFile(path string, seedOverride *int64, chart, events bool,
+	cpuprofile, memprofile string) {
+	doc, err := scenario.ParseFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if seedOverride != nil {
+		doc.Seed = *seedOverride
+	}
+	run, err := doc.Build()
+	if err != nil {
+		fail("%v", err)
+	}
+	opt := scenario.ExecOptions{Logf: func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}}
+	if events {
+		opt.Events = eventSink
+	}
+	stopProfiles := startProfiles(cpuprofile, memprofile)
+	tl, err := run.Execute(opt)
+	stopProfiles()
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("\nscenario %s on %s, %d agent(s), %.0fs, %d mutation horizon(s)\n",
+		doc.Name, run.Config.Name, len(run.AgentIDs), doc.DurationSeconds, len(run.Mutations))
+	summarize(tl, run.AgentIDs, doc.DurationSeconds, chart)
+}
+
+// startProfiles begins CPU profiling and returns a func that stops it
+// and writes the heap profile; either path may be empty.
+func startProfiles(cpuprofile, memprofile string) func() {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("%v", err)
+		}
+	}
+	return func() {
+		if cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if memprofile != "" {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fail("%v", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail("%v", err)
+			}
+			f.Close()
+		}
+	}
+}
+
 func main() {
-	tbName := flag.String("testbed", "emulab", "testbed: emulab, emulab-1g, xsede, hpclab, campus, wan")
+	tbName := flag.String("testbed", "emulab", "testbed: "+strings.Join(scenario.Presets(), ", "))
 	algo := flag.String("algo", "gd", "controller: gd, bo, hc, globus, harp, fixed:N")
 	agents := flag.Int("agents", 1, "number of competing transfer tasks")
 	stagger := flag.Float64("stagger", 120, "seconds between agent joins")
@@ -99,11 +238,27 @@ func main() {
 	chart := flag.Bool("chart", true, "print ASCII charts")
 	events := flag.Bool("events", false, "print the typed session event stream as it happens")
 	exact := flag.Bool("exact", false, "simulate on the exact always-tick path instead of event-horizon stepping (A/B verification; output must be byte-identical)")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario document (JSON) instead of the flag-built run")
+	validate := flag.Bool("validate", false, "validate the scenario files/directories given as arguments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the run")
 	flag.Parse()
 
+	if *validate {
+		os.Exit(validateScenarios(flag.Args()))
+	}
 	testbed.SetDefaultExact(*exact)
+	if *scenarioPath != "" {
+		// -seed overrides the document's seed only when set explicitly.
+		var seedOverride *int64
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedOverride = seed
+			}
+		})
+		runScenarioFile(*scenarioPath, seedOverride, *chart, *events, *cpuprofile, *memprofile)
+		return
+	}
 	cfg, ok := pickTestbed(*tbName)
 	if !ok {
 		fail("unknown testbed %q", *tbName)
@@ -121,26 +276,16 @@ func main() {
 		fmt.Printf(format+"\n", args...)
 	})
 	if *events {
-		sched.SetEventSink(func(e session.Event) {
-			switch e.Kind {
-			case session.Sample:
-				fmt.Printf("event t=%7.2f %-8s %-9s %.3f Gbps loss=%.4f\n",
-					e.Time, e.Session, e.Kind, e.Sample.Throughput/1e9, e.Sample.Loss)
-			case session.Decision, session.Apply:
-				fmt.Printf("event t=%7.2f %-8s %-9s %s\n", e.Time, e.Session, e.Kind, e.Setting)
-			case session.Error:
-				fmt.Printf("event t=%7.2f %-8s %-9s %v\n", e.Time, e.Session, e.Kind, e.Err)
-			default:
-				fmt.Printf("event t=%7.2f %-8s %-9s\n", e.Time, e.Session, e.Kind)
-			}
-		})
+		sched.SetEventSink(eventSink)
 	}
+	ids := make([]string, 0, *agents)
 	for i := 0; i < *agents; i++ {
 		ctrl, initial, err := makeController(*algo, *maxN, *seed+int64(i))
 		if err != nil {
 			fail("%v", err)
 		}
 		id := fmt.Sprintf("agent%d", i+1)
+		ids = append(ids, id)
 		task, err := transfer.NewTask(id, dataset.Uniform(id, 20000, int64(dataset.GB)), initial)
 		if err != nil {
 			fail("%v", err)
@@ -152,49 +297,10 @@ func main() {
 		}
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fail("%v", err)
-		}
-	}
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	tl := sched.Run(*duration, 0.25)
-	if *cpuprofile != "" {
-		pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			fail("%v", err)
-		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fail("%v", err)
-		}
-		f.Close()
-	}
+	stopProfiles()
 
 	fmt.Printf("\n%s on %s, %d agent(s), %.0fs\n", *algo, cfg.Name, *agents, *duration)
-	fmt.Printf("%-10s %-18s %-14s\n", "agent", "mean Gbps (2nd half)", "mean cc")
-	var shares []float64
-	for i := 0; i < *agents; i++ {
-		id := fmt.Sprintf("agent%d", i+1)
-		tput := tl.MeanThroughputGbps(id, *duration/2, *duration)
-		shares = append(shares, tput)
-		cc := 0.0
-		if s := tl.Concurrency.Lookup(id); s != nil {
-			cc = s.MeanAfter(*duration / 2)
-		}
-		fmt.Printf("%-10s %-18.3f %-14.1f\n", id, tput, cc)
-	}
-	if *agents > 1 {
-		fmt.Printf("Jain fairness index: %.3f\n", stats.JainIndex(shares))
-	}
-	if *chart {
-		fmt.Printf("\nthroughput (Gbps):\n%s", tl.Throughput.ASCIIChart(72, 12))
-		fmt.Printf("\nconcurrency:\n%s", tl.Concurrency.ASCIIChart(72, 12))
-	}
+	summarize(tl, ids, *duration, *chart)
 }

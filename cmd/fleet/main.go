@@ -11,6 +11,12 @@
 //
 //	fleet [-n N] [-duration S] [-stagger S] [-maxn N] [-seed N] [-algos hc,gd,bo]
 //	      [-exact] [-scan] [-cpuprofile FILE] [-memprofile FILE]
+//	fleet -scenario FILE.json [-seed N] [-exact] [-scan]
+//
+// With -scenario, the flag-built fleet is replaced by a declarative
+// scenario document (see internal/scenario) and the run reports
+// time-to-refairness around every compiled link-capacity horizon via
+// experiments.DynamicFleet.
 //
 // The run is deterministic for a given flag set: the same seed always
 // produces byte-identical output, in the event-horizon (default) and
@@ -28,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/testbed"
 )
 
@@ -42,6 +49,7 @@ func run() int {
 	maxn := flag.Int("maxn", 8, "concurrency search-domain bound per agent")
 	seed := flag.Int64("seed", 1, "base seed (session i's agent is seeded seed+i)")
 	algos := flag.String("algos", "hc,gd,bo", "comma-separated algorithm mix cycled across sessions")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario document (JSON) through the dynamic-fleet report instead of the flag-built fleet")
 	exact := flag.Bool("exact", false, "simulate on the exact always-tick path instead of event-horizon stepping")
 	scan := flag.Bool("scan", false, "use the legacy linear-scan scheduler loop instead of the event queue (A/B baseline; output must be byte-identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -75,6 +83,36 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 			}
 		}()
+	}
+
+	if *scenarioPath != "" {
+		doc, err := scenario.ParseFile(*scenarioPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			return 1
+		}
+		// -seed overrides the document's seed only when set explicitly.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				doc.Seed = *seed
+			}
+		})
+		sessions := len(doc.AgentIDs())
+		start := time.Now()
+		res, err := experiments.DynamicFleet(doc)
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			return 1
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			return 1
+		}
+		sessSec := float64(sessions) * doc.DurationSeconds / wall.Seconds()
+		fmt.Fprintf(os.Stderr, "fleet: %d sessions × %.0f s simulated in %.2f s wall — %.0f session-seconds/sec\n",
+			sessions, doc.DurationSeconds, wall.Seconds(), sessSec)
+		return 0
 	}
 
 	var list []string

@@ -29,6 +29,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/scenario"
 )
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -59,9 +61,15 @@ type ReproduceTiming struct {
 
 // FleetTiming is the wall-clock measurement of one cmd/fleet run — the
 // fleet-scale orchestration number the event-queue scheduler is judged
-// by.
+// by. One timing runs from flags (the static 10k contention workload)
+// and one from a checked-in dynamic scenario document, so the overhead
+// of mutation horizons on the event queue is tracked release to
+// release.
 type FleetTiming struct {
-	Sessions int     `json:"sessions"`
+	// Scenario is the document the run was built from, empty for the
+	// flag-driven static workload.
+	Scenario string `json:"scenario,omitempty"`
+	Sessions int    `json:"sessions"`
 	// DurationSec is the simulated horizon of the run.
 	DurationSec float64 `json:"duration_sec"`
 	Args        string  `json:"args"`
@@ -284,29 +292,52 @@ func timeFleet(seed int64) ([]FleetTiming, error) {
 		sessions = 10000
 		duration = 600.0
 	)
-	args := []string{
+	run := func(tm FleetTiming, args []string) (FleetTiming, error) {
+		fmt.Fprintf(os.Stderr, "simbench: timing fleet %s...\n", strings.Join(args, " "))
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = nil // discard: only the wall time matters here
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		start := time.Now()
+		if err := cmd.Run(); err != nil {
+			return tm, fmt.Errorf("fleet %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+		}
+		tm.Args = strings.Join(args, " ")
+		tm.Seconds = time.Since(start).Seconds()
+		tm.SessionsPerSec = float64(tm.Sessions) * tm.DurationSec / tm.Seconds
+		return tm, nil
+	}
+
+	static, err := run(FleetTiming{Sessions: sessions, DurationSec: duration}, []string{
 		"-n", strconv.Itoa(sessions),
 		"-duration", strconv.FormatFloat(duration, 'f', -1, 64),
 		"-stagger", "0.05",
 		"-seed", strconv.FormatInt(seed, 10),
+	})
+	if err != nil {
+		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "simbench: timing fleet %s...\n", strings.Join(args, " "))
-	cmd := exec.Command(bin, args...)
-	cmd.Stdout = nil // discard: only the wall time matters here
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	start := time.Now()
-	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("fleet %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+
+	// The same fleet under a mid-run cross-traffic wave. The document
+	// mirrors the static workload's join ramp (one join every 50 ms,
+	// hc/gd/bo interleaved), so the two numbers differ only by the
+	// mutation schedule; session count and horizon come from the
+	// document itself so the timings stay comparable if the file
+	// changes.
+	scenarioPath := filepath.Join("examples", "scenarios", "fleet-10k-flap.json")
+	doc, err := scenario.ParseFile(scenarioPath)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic fleet scenario: %v", err)
 	}
-	wall := time.Since(start).Seconds()
-	return []FleetTiming{{
-		Sessions:       sessions,
-		DurationSec:    duration,
-		Args:           strings.Join(args, " "),
-		Seconds:        wall,
-		SessionsPerSec: float64(sessions) * duration / wall,
-	}}, nil
+	dynamic, err := run(FleetTiming{
+		Scenario:    doc.Name,
+		Sessions:    len(doc.AgentIDs()),
+		DurationSec: doc.DurationSeconds,
+	}, []string{"-scenario", scenarioPath})
+	if err != nil {
+		return nil, err
+	}
+	return []FleetTiming{static, dynamic}, nil
 }
 
 // timeReproduce builds cmd/reproduce once and times a full serial run

@@ -29,7 +29,7 @@ func AblationK(seed int64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		tl, err := scenario(cfg, seed, 480, testbed.Participant{Task: endlessTask("t", 2), Controller: agent})
+		tl, err := runScenario(cfg, seed, 480, testbed.Participant{Task: endlessTask("t", 2), Controller: agent})
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +61,7 @@ func AblationB(seed int64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		tl, err := scenario(cfg, seed, 300, testbed.Participant{Task: endlessTask("t", 2), Controller: agent})
+		tl, err := runScenario(cfg, seed, 300, testbed.Participant{Task: endlessTask("t", 2), Controller: agent})
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +148,7 @@ func AblationWindow(seed int64) (*Result, error) {
 		// Background: a fixed 12-way transfer takes roughly half the
 		// store's capacity from t=300.
 		bg := transfer.Setting{Concurrency: 12, Parallelism: 1, Pipelining: 1}
-		tl, err := scenario(cfg, seed, 600,
+		tl, err := runScenario(cfg, seed, 600,
 			testbed.Participant{Task: endlessTask("falcon", 2), Controller: agent},
 			testbed.Participant{Task: endlessTask("bg", 12), Controller: testbed.FixedController{S: bg}, JoinAt: 300},
 		)
@@ -219,7 +219,7 @@ func AblationSearch(seed int64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		tl, err := scenario(cfg, seed, 900, testbed.Participant{Task: endlessTask(algo, 2), Controller: agent})
+		tl, err := runScenario(cfg, seed, 900, testbed.Participant{Task: endlessTask(algo, 2), Controller: agent})
 		if err != nil {
 			return nil, err
 		}
@@ -254,7 +254,7 @@ func AblationBBR(seed int64) (*Result, error) {
 		cfg := testbed.Emulab(10e6)
 		cfg.Congestion = cc
 		agent := core.NewGDAgent(32)
-		tl, err := scenario(cfg, seed, 300, testbed.Participant{Task: endlessTask("t", 2), Controller: agent})
+		tl, err := runScenario(cfg, seed, 300, testbed.Participant{Task: endlessTask("t", 2), Controller: agent})
 		if err != nil {
 			return nil, err
 		}
@@ -287,7 +287,7 @@ func AblationNoise(seed int64) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			tl, err := scenario(cfg, seed, 300, testbed.Participant{Task: endlessTask(algo, 2), Controller: agent})
+			tl, err := runScenario(cfg, seed, 300, testbed.Participant{Task: endlessTask(algo, 2), Controller: agent})
 			if err != nil {
 				return nil, err
 			}
@@ -316,7 +316,7 @@ func AblationDynamics(seed int64) (*Result, error) {
 	cfg := testbed.Emulab(10e6)
 	bg := transfer.Setting{Concurrency: 5, Parallelism: 1, Pipelining: 1}
 	agent := core.NewGDAgent(32)
-	tl, err := scenario(cfg, seed, 720,
+	tl, err := runScenario(cfg, seed, 720,
 		testbed.Participant{Task: endlessTask("falcon", 2), Controller: agent},
 		testbed.Participant{Task: endlessTask("bg", 5), Controller: testbed.FixedController{S: bg}, JoinAt: 240, LeaveAt: 480},
 	)

@@ -26,7 +26,7 @@ func Fig14(seed int64) (*Result, error) {
 		horizon := 300.0
 		run := func(name string, ctrl testbed.Controller, initial transfer.Setting) (float64, error) {
 			task := mustTask(name, dataset.Uniform(name, 20000, int64(dataset.GB)), initial)
-			tl, err := scenario(cfg, seed, horizon, testbed.Participant{Task: task, Controller: ctrl})
+			tl, err := runScenario(cfg, seed, horizon, testbed.Participant{Task: task, Controller: ctrl})
 			if err != nil {
 				return 0, err
 			}
@@ -90,7 +90,7 @@ func Fig15(seed int64) (*Result, error) {
 	for _, s := range sets {
 		start := transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1}
 		single := core.NewGDAgent(32)
-		tl1, err := scenario(cfg, seed, horizon,
+		tl1, err := runScenario(cfg, seed, horizon,
 			testbed.Participant{Task: mustTask("falcon", s.ds, start), Controller: single})
 		if err != nil {
 			return nil, err
@@ -99,7 +99,7 @@ func Fig15(seed int64) (*Result, error) {
 
 		multi := core.NewDefaultMultiAgent(32, 8, 32)
 		startMP := transfer.Setting{Concurrency: 2, Parallelism: 2, Pipelining: 2}
-		tl2, err := scenario(cfg, seed, horizon,
+		tl2, err := runScenario(cfg, seed, horizon,
 			testbed.Participant{Task: mustTask("falcon-mp", s.ds, startMP), Controller: multi})
 		if err != nil {
 			return nil, err
@@ -139,7 +139,7 @@ func Fig16(seed int64) (*Result, error) {
 			return err
 		}
 		start := transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1}
-		tl, err := scenario(cfg, seed, horizon,
+		tl, err := runScenario(cfg, seed, horizon,
 			testbed.Participant{Task: mustTask("globus", dataset.Uniform("g", 20000, int64(dataset.GB)), globus.Setting()), Controller: globus},
 			testbed.Participant{Task: mustTask("harp", dataset.Uniform("h", 20000, int64(dataset.GB)), harp.Setting()), Controller: harp, JoinAt: 60},
 			testbed.Participant{Task: mustTask("falcon", dataset.Uniform("f", 20000, int64(dataset.GB)), start), Controller: falcon, JoinAt: 120},

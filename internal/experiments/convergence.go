@@ -29,7 +29,7 @@ func Fig7(seed int64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		tl, err := scenario(cfg, seed, 900, testbed.Participant{Task: endlessTask(algo, 2), Controller: agent})
+		tl, err := runScenario(cfg, seed, 900, testbed.Participant{Task: endlessTask(algo, 2), Controller: agent})
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +69,7 @@ func Fig8(seed int64) (*Result, error) {
 	}
 	cfg := testbed.EmulabGigabit(20.83e6)
 	run := func(mk func() testbed.Controller, label string) error {
-		tl, err := scenario(cfg, seed, 900,
+		tl, err := runScenario(cfg, seed, 900,
 			testbed.Participant{Task: endlessTask(label+"-a", 2), Controller: mk()},
 			testbed.Participant{Task: endlessTask(label+"-b", 2), Controller: mk(), JoinAt: 120},
 		)

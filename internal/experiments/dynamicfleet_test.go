@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestFleetFlapFileMatchesDoc pins the checked-in scenario to the
+// in-code document: examples/scenarios/fleet-flap.json and
+// FleetFlapDoc() must canonicalise identically, so the file run by
+// `falconsim -scenario`, `fleet -scenario`, and the webservice is
+// exactly the experiment registered as fleet-flap.
+func TestFleetFlapFileMatchesDoc(t *testing.T) {
+	parsed, err := scenario.ParseFile(filepath.Join("..", "..", "examples", "scenarios", "fleet-flap.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileCanon, err := parsed.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docCanon, err := FleetFlapDoc().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fileCanon) != string(docCanon) {
+		t.Fatalf("fleet-flap.json diverged from FleetFlapDoc():\nfile: %s\ncode: %s", fileCanon, docCanon)
+	}
+}
+
+// TestDynamicFleetSmoke runs a scaled-down capacity-flap fleet end to
+// end and checks the report shape: one row per compiled link horizon
+// (wave start + restore), and the fleet's Jain index re-converges
+// above 0.95 after each.
+func TestDynamicFleetSmoke(t *testing.T) {
+	doc := &scenario.Document{
+		Version:         scenario.Version,
+		Name:            "fleet-flap-smoke",
+		Preset:          "fleet",
+		Seed:            1,
+		DurationSeconds: 240,
+		Agents: []scenario.AgentSpec{
+			{ID: "hc", Count: 4, Algorithm: "hc", JoinStagger: 2, MaxConcurrency: 8,
+				Dataset: &scenario.DatasetSpec{Label: "fleet"}},
+			{ID: "gd", Count: 4, Algorithm: "gd", JoinAt: 1, JoinStagger: 2, MaxConcurrency: 8,
+				Dataset: &scenario.DatasetSpec{Label: "fleet"}},
+		},
+		Mutations: []scenario.MutationSpec{
+			{At: 120, Kind: scenario.KindCrossTraffic, Rate: 7.5e9, DurationSeconds: 60},
+		},
+	}
+	res, err := DynamicFleet(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2 (wave start + restore): %v", len(res.Rows), res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[4] == "never" {
+			t.Errorf("fleet never re-converged to Jain ≥ 0.95 after the t=%s horizon", row[0])
+		}
+	}
+
+	// A schedule with no link mutations is an error, not a silent
+	// empty report.
+	still := &scenario.Document{Preset: "fleet", Agents: []scenario.AgentSpec{{Count: 2}},
+		Mutations: []scenario.MutationSpec{{At: 100, Kind: scenario.KindRTT, RTT: 0.05}}}
+	if _, err := DynamicFleet(still); err == nil || !strings.Contains(err.Error(), "no link mutations") {
+		t.Fatalf("DynamicFleet without link mutations: err = %v", err)
+	}
+}
+
+// TestFleetFlapRegistered: the experiment resolves through ByID (for
+// `reproduce -only fleet-flap`) but stays outside All(), keeping the
+// default reproduce output unchanged.
+func TestFleetFlapRegistered(t *testing.T) {
+	if _, ok := ByID("fleet-flap"); !ok {
+		t.Fatal("fleet-flap not resolvable via ByID")
+	}
+	for _, r := range All() {
+		if r.ID == "fleet-flap" {
+			t.Fatal("fleet-flap leaked into All(); default reproduce output would change")
+		}
+	}
+}

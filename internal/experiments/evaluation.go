@@ -34,7 +34,7 @@ func allNetworks(id, title, algo string, seed int64) (*Result, error) {
 			slots[i].err = err
 			return
 		}
-		tl, err := scenario(cfg, seed, 300, testbed.Participant{Task: endlessTask(cfg.Name, 2), Controller: agent})
+		tl, err := runScenario(cfg, seed, 300, testbed.Participant{Task: endlessTask(cfg.Name, 2), Controller: agent})
 		if err != nil {
 			slots[i].err = err
 			return
@@ -95,7 +95,7 @@ func competing(id, title, algo string, seed int64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tl, err := scenario(cfg, seed, 720,
+	tl, err := runScenario(cfg, seed, 720,
 		testbed.Participant{Task: endlessTask("t1", 2), Controller: a1},
 		testbed.Participant{Task: endlessTask("t2", 2), Controller: a2, JoinAt: 180},
 		testbed.Participant{Task: endlessTask("t3", 2), Controller: a3, JoinAt: 360, LeaveAt: 560},
@@ -155,7 +155,7 @@ func Fig13(seed int64) (*Result, error) {
 		Header: []string{"Phase", "Agent 1 cc", "Agent 2 cc", "Agent 3 cc", "Total cc"},
 	}
 	cfg := testbed.EmulabGigabit(20.83e6)
-	tl, err := scenario(cfg, seed, 1100,
+	tl, err := runScenario(cfg, seed, 1100,
 		testbed.Participant{Task: endlessTask("t1", 2), Controller: core.NewGDAgent(100)},
 		testbed.Participant{Task: endlessTask("t2", 2), Controller: core.NewGDAgent(100), JoinAt: 250, LeaveAt: 900},
 		testbed.Participant{Task: endlessTask("t3", 2), Controller: core.NewGDAgent(100), JoinAt: 500, LeaveAt: 750},

@@ -161,12 +161,17 @@ var (
 	registry     map[string]Runner
 )
 
-// ByID returns the runner with the given ID.
+// ByID returns the runner with the given ID, searching All() and the
+// registered-but-not-default Extra() runners.
 func ByID(id string) (Runner, bool) {
 	registryOnce.Do(func() {
 		all := All()
-		registry = make(map[string]Runner, len(all))
+		extra := Extra()
+		registry = make(map[string]Runner, len(all)+len(extra))
 		for _, r := range all {
+			registry[r.ID] = r
+		}
+		for _, r := range extra {
 			registry[r.ID] = r
 		}
 	})

@@ -6,8 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/hostsim"
-	"repro/internal/iosim"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 )
@@ -61,20 +60,16 @@ func (c FleetConfig) withDefaults() FleetConfig {
 // same network resource. Per-process storage caps are loose enough
 // that the per-connection cap is the stream cap, identical across the
 // fleet — with one parallelism setting in play, every flow lands in a
-// handful of classes regardless of session count.
+// handful of classes regardless of session count. The environment
+// itself is the scenario subsystem's "fleet" preset; this is a thin
+// wrapper so fleet experiments, scenario documents, and the cmds all
+// resolve the same config.
 func FleetTestbed() testbed.Config {
-	return testbed.Config{
-		Name:           "fleet",
-		SrcStore:       iosim.Store{Name: "fleet-src", PerProcCap: 400e6, AggregateCap: 400e9},
-		DstStore:       iosim.Store{Name: "fleet-dst", PerProcCap: 400e6, AggregateCap: 400e9},
-		SrcHost:        hostsim.DTN("fleet-src", 100e9),
-		DstHost:        hostsim.DTN("fleet-dst", 100e9),
-		LinkCapacity:   10e9,
-		RTT:            0.030,
-		SampleInterval: 3,
-		NoiseStdDev:    0.01,
-		Bottleneck:     "Network",
+	cfg, ok := scenario.PresetConfig("fleet")
+	if !ok {
+		panic("experiments: scenario preset \"fleet\" missing")
 	}
+	return cfg
 }
 
 // Fleet runs cfg.Sessions concurrent Falcon sessions (HC/GD/BO mix by
@@ -117,7 +112,7 @@ func Fleet(cfg FleetConfig) (*Result, error) {
 			JoinAt:     float64(i) * cfg.Stagger,
 		}
 	}
-	tl, err := scenario(FleetTestbed(), cfg.Seed, cfg.Duration, parts...)
+	tl, err := runScenario(FleetTestbed(), cfg.Seed, cfg.Duration, parts...)
 	if err != nil {
 		return nil, err
 	}

@@ -37,11 +37,11 @@ func mustTask(id string, ds *dataset.Dataset, s transfer.Setting) *transfer.Task
 	return t
 }
 
-// scenario runs a set of participants on a testbed and returns the
+// runScenario runs a set of participants on a testbed and returns the
 // timeline. Each participant runs as one session loop on the engine's
 // virtual clock; the timeline is recorded by consuming the sessions'
 // event streams (testbed.Timeline.Sink).
-func scenario(cfg testbed.Config, seed int64, horizon float64, parts ...testbed.Participant) (*testbed.Timeline, error) {
+func runScenario(cfg testbed.Config, seed int64, horizon float64, parts ...testbed.Participant) (*testbed.Timeline, error) {
 	eng, err := testbed.NewEngine(cfg, seed)
 	if err != nil {
 		return nil, err

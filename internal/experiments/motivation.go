@@ -116,7 +116,7 @@ func Fig2a(seed int64) (*Result, error) {
 		return nil, err
 	}
 	gt := mustTask("globus", dataset.Uniform("g", 20000, int64(dataset.GB)), globus.Setting())
-	tlG, err := scenario(cfg, seed, 180, testbed.Participant{Task: gt, Controller: globus})
+	tlG, err := runScenario(cfg, seed, 180, testbed.Participant{Task: gt, Controller: globus})
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +128,7 @@ func Fig2a(seed int64) (*Result, error) {
 		return nil, err
 	}
 	ht := mustTask("harp", dataset.Uniform("h", 20000, int64(dataset.GB)), harp.Setting())
-	tlH, err := scenario(cfg, seed, 180, testbed.Participant{Task: ht, Controller: harp})
+	tlH, err := runScenario(cfg, seed, 180, testbed.Participant{Task: ht, Controller: harp})
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +175,7 @@ func Fig2b(seed int64) (*Result, error) {
 	h2.Recalibrate = 0
 	t1 := mustTask("harp-first", dataset.Uniform("h1", 20000, int64(dataset.GB)), h1.Setting())
 	t2 := mustTask("harp-second", dataset.Uniform("h2", 20000, int64(dataset.GB)), h2.Setting())
-	tl, err := scenario(cfg, seed, 360,
+	tl, err := runScenario(cfg, seed, 360,
 		testbed.Participant{Task: t1, Controller: h1},
 		testbed.Participant{Task: t2, Controller: h2, JoinAt: 120},
 	)

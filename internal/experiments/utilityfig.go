@@ -68,7 +68,7 @@ func Fig6b(seed int64) (*Result, error) {
 	run := func(name string, fn core.UtilityFunc) error {
 		agent := core.NewGDAgent(100)
 		agent.SetUtilityFunc(fn)
-		tl, err := scenario(cfg, seed, 480, testbed.Participant{Task: endlessTask(name, 2), Controller: agent})
+		tl, err := runScenario(cfg, seed, 480, testbed.Participant{Task: endlessTask(name, 2), Controller: agent})
 		if err != nil {
 			return err
 		}
@@ -110,7 +110,7 @@ func Fig6c(seed int64) (*Result, error) {
 			a1.SetUtilityFunc(fn)
 			a2.SetUtilityFunc(fn)
 		}
-		tl, err := scenario(cfg, seed, 700,
+		tl, err := runScenario(cfg, seed, 700,
 			testbed.Participant{Task: endlessTask(name+"-a", 2), Controller: a1},
 			testbed.Participant{Task: endlessTask(name+"-b", 2), Controller: a2, JoinAt: 120},
 		)

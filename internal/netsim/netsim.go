@@ -300,6 +300,14 @@ type Network struct {
 	scr      scratch
 	classOff bool // true forces the per-flow (one class per demand) path
 	classes  int  // live class count of the most recent allocation
+	// capGen counts capacity changes (SetCapacity calls that alter a
+	// resource's capacity; idempotent sets don't count). Allocation
+	// itself reads capacities fresh on every call — the partition cache
+	// keys on demand signatures only, never on capacities — but callers
+	// that memoize whole allocations (the testbed engine) fold this
+	// counter into their memo key so a mid-run capacity mutation
+	// deterministically invalidates the cached fill.
+	capGen uint64
 }
 
 // New returns an empty network with the default loss model.
@@ -366,8 +374,19 @@ func (n *Network) SetCapacity(id string, capacity float64) {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("netsim: resource %q capacity %v must be positive", id, capacity))
 	}
-	n.resList[i].Capacity = capacity
+	if n.resList[i].Capacity != capacity {
+		n.resList[i].Capacity = capacity
+		n.capGen++
+	}
 }
+
+// CapacityGeneration returns a counter incremented by every
+// SetCapacity call that changes a capacity. Two allocations bracketing
+// an unchanged counter saw identical capacities, so allocation memos
+// keyed on demands plus this counter can never replay a fill across a
+// capacity mutation. Idempotent sets don't bump it, so per-tick
+// refreshes of unchanged contention capacities keep memos live.
+func (n *Network) CapacityGeneration() uint64 { return n.capGen }
 
 // Resource returns a copy of the resource with the given ID.
 func (n *Network) Resource(id string) (Resource, bool) {

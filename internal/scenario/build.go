@@ -1,0 +1,409 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+	"repro/internal/session"
+	"repro/internal/testbed"
+	"repro/internal/transfer"
+)
+
+// presetNames lists the built-in environments in canonical order.
+var presetNames = []string{"emulab", "emulab-1g", "xsede", "hpclab", "campus", "wan", "fleet"}
+
+// Presets returns the built-in environment names.
+func Presets() []string { return append([]string(nil), presetNames...) }
+
+// PresetConfig resolves a named environment: the paper's Table 1
+// testbeds plus the WAN path and the fleet-contention bottleneck. It
+// is the single lookup behind cmd/falconsim, cmd/fleet, the
+// webservice, and experiments, so the name space is identical
+// everywhere; the golden tests pin the checked-in scenario files in
+// examples/scenarios/ to these configs.
+func PresetConfig(name string) (testbed.Config, bool) {
+	switch name {
+	case "emulab":
+		return testbed.Emulab(10e6), true
+	case "emulab-1g":
+		return testbed.EmulabGigabit(20.83e6), true
+	case "xsede":
+		return testbed.XSEDE(), true
+	case "hpclab":
+		return testbed.HPCLab(), true
+	case "campus":
+		return testbed.CampusCluster(), true
+	case "wan":
+		return testbed.StampedeCometWAN(), true
+	case "fleet":
+		return fleetConfig(), true
+	}
+	return testbed.Config{}, false
+}
+
+// fleetConfig is the shared-bottleneck fleet environment: a 10 Gbps
+// WAN-ish path whose storage and hosts are provisioned far above the
+// link, so every session contends for the same network resource.
+// experiments.FleetTestbed delegates here.
+func fleetConfig() testbed.Config {
+	return testbed.Config{
+		Name:           "fleet",
+		SrcStore:       StoreSpec{Name: "fleet-src", PerProcCap: 400e6, AggregateCap: 400e9}.Store(),
+		DstStore:       StoreSpec{Name: "fleet-dst", PerProcCap: 400e6, AggregateCap: 400e9}.Store(),
+		SrcHost:        HostSpec{Name: "fleet-src", NICCap: 100e9, CPUCap: 150e9, ConnOverhead: 0.003}.Host(),
+		DstHost:        HostSpec{Name: "fleet-dst", NICCap: 100e9, CPUCap: 150e9, ConnOverhead: 0.003}.Host(),
+		LinkCapacity:   10e9,
+		RTT:            0.030,
+		SampleInterval: 3,
+		NoiseStdDev:    0.01,
+		Bottleneck:     "Network",
+	}
+}
+
+// Run is a compiled scenario: the environment config, the expanded
+// participant roster (tasks already constructed), and the mutation
+// schedule as engine horizons. Tasks are stateful, so a Run drives at
+// most one execution; Build again for another.
+type Run struct {
+	// Doc is the normalised source document.
+	Doc *Document
+	// Config is the compiled environment.
+	Config testbed.Config
+	// AgentIDs is the expanded roster in join-spec order.
+	AgentIDs []string
+	// Participants couple each agent's task, controller, and schedule.
+	Participants []testbed.Participant
+	// Mutations is the compiled schedule, sorted by time.
+	Mutations []testbed.Mutation
+
+	used bool
+}
+
+// Build compiles the document: resolve the environment (preset or
+// explicit, with topology-derived link capacity and RTT), expand the
+// roster into participants with constructed controllers and tasks, and
+// compile the mutation schedule — cross-traffic waves become absolute
+// capacity set/restore pairs, topology link changes become path-
+// bottleneck changes. The document is normalised and validated first,
+// so Build returns errors rather than panicking on bad input.
+func (d *Document) Build() (*Run, error) {
+	if err := d.Normalise(); err != nil {
+		return nil, err
+	}
+	cfg, err := d.buildConfig()
+	if err != nil {
+		return nil, err
+	}
+	r := &Run{Doc: d, Config: cfg, AgentIDs: d.AgentIDs()}
+	n := 0
+	for i := range d.Agents {
+		a := &d.Agents[i]
+		for j := 0; j < a.Count; j++ {
+			id := r.AgentIDs[n]
+			seed := d.Seed + int64(n)
+			n++
+			ctrl, err := buildController(a.Algorithm, a.MaxConcurrency, seed)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: agent %q: %w", id, err)
+			}
+			label := a.Dataset.Label
+			if label == "" {
+				label = id
+			}
+			initial := transfer.Setting{
+				Concurrency: a.Initial.Concurrency,
+				Parallelism: a.Initial.Parallelism,
+				Pipelining:  a.Initial.Pipelining,
+			}
+			task, err := transfer.NewTask(id, dataset.Uniform(label, a.Dataset.Count, a.Dataset.Size), initial)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: agent %q: %w", id, err)
+			}
+			r.Participants = append(r.Participants, testbed.Participant{
+				Task:           task,
+				Controller:     ctrl,
+				JoinAt:         a.JoinAt + float64(j)*a.JoinStagger,
+				LeaveAt:        a.LeaveAt,
+				SampleInterval: a.SampleInterval,
+			})
+		}
+	}
+	r.Mutations, err = d.compileMutations(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildConfig resolves preset/environment and applies the topology's
+// routed link capacity and RTT.
+func (d *Document) buildConfig() (testbed.Config, error) {
+	var cfg testbed.Config
+	if d.Preset != "" {
+		cfg, _ = PresetConfig(d.Preset)
+	} else {
+		cfg = d.Environment.Config()
+	}
+	if d.Topology != nil {
+		_, bottleneck, rtt, err := d.routeState()
+		if err != nil {
+			return cfg, err
+		}
+		cfg.LinkCapacity = bottleneck
+		cfg.RTT = rtt
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("scenario: %w", err)
+	}
+	return cfg, nil
+}
+
+// buildTopology constructs the netsim graph and route endpoints.
+// Validation has already checked every reference, so the netsim
+// construction panics cannot fire.
+func (d *Document) buildTopology() (t *netsim.Topology, src, dst string) {
+	ts := d.Topology
+	if ts.Dumbbell != nil {
+		db := ts.Dumbbell
+		t = netsim.Dumbbell(db.Hosts, db.AccessCap, db.BottleneckCap, db.BottleneckLatency)
+		src, dst = ts.Src, ts.Dst
+		if src == "" {
+			src = "src0"
+		}
+		if dst == "" {
+			dst = "dst0"
+		}
+		return t, src, dst
+	}
+	t = netsim.NewTopology()
+	for _, n := range ts.Nodes {
+		t.AddNode(n)
+	}
+	for _, l := range ts.Links {
+		t.AddLink(l.ID, l.A, l.B, l.Capacity, l.Latency)
+	}
+	return t, ts.Src, ts.Dst
+}
+
+// routeState routes the topology and returns the transfer path's link
+// IDs in order, the path bottleneck capacity, and the path RTT.
+func (d *Document) routeState() (links []string, bottleneck, rtt float64, err error) {
+	t, src, dst := d.buildTopology()
+	links, rtt, err = t.Route(src, dst)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("scenario: topology: %w", err)
+	}
+	if len(links) == 0 {
+		return nil, 0, 0, fmt.Errorf("scenario: topology: empty route from %q to %q", src, dst)
+	}
+	capOf := make(map[string]float64)
+	for _, r := range t.Resources() {
+		capOf[r.ID] = r.Capacity
+	}
+	bottleneck = math.Inf(1)
+	for _, id := range links {
+		if capOf[id] < bottleneck {
+			bottleneck = capOf[id]
+		}
+	}
+	return links, bottleneck, rtt, nil
+}
+
+// linkCapacities returns the initial capacity of every topology link,
+// or the single flat link when the document has no topology (keyed "").
+func (d *Document) linkCapacities(cfg testbed.Config) map[string]float64 {
+	caps := make(map[string]float64)
+	if d.Topology == nil {
+		caps[""] = cfg.LinkCapacity
+		return caps
+	}
+	t, _, _ := d.buildTopology()
+	for _, r := range t.Resources() {
+		caps[r.ID] = r.Capacity
+	}
+	return caps
+}
+
+// compileMutations lowers the declarative schedule onto the engine's
+// single end-to-end path: every event is replayed in time order over a
+// tracked per-link capacity state, and whenever the transfer route's
+// bottleneck value changes a testbed.MutLinkCapacity horizon is
+// emitted with the new absolute capacity. Cross-traffic waves are a
+// claim/restore pair over that state; changes to links off the
+// transfer route track state but emit nothing (they cannot affect the
+// path). RTT, store, and grow mutations lower directly.
+func (d *Document) compileMutations(cfg testbed.Config) ([]testbed.Mutation, error) {
+	if len(d.Mutations) == 0 {
+		return nil, nil
+	}
+	route := []string{""}
+	if d.Topology != nil {
+		var err error
+		route, _, _, err = d.routeState()
+		if err != nil {
+			return nil, err
+		}
+	}
+	onRoute := make(map[string]bool, len(route))
+	for _, id := range route {
+		onRoute[id] = true
+	}
+	caps := d.linkCapacities(cfg)
+	bottleneck := func() float64 {
+		b := math.Inf(1)
+		for _, id := range route {
+			if caps[id] < b {
+				b = caps[id]
+			}
+		}
+		return b
+	}
+
+	// One event per point mutation, two per cross-traffic wave.
+	type event struct {
+		at   float64
+		idx  int // source mutation index (tie-break)
+		end  bool
+		spec *MutationSpec
+	}
+	events := make([]event, 0, len(d.Mutations))
+	for i := range d.Mutations {
+		m := &d.Mutations[i]
+		events = append(events, event{at: m.At, idx: i, spec: m})
+		if m.Kind == KindCrossTraffic {
+			events = append(events, event{at: m.At + m.DurationSeconds, idx: i, end: true, spec: m})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		return events[a].idx < events[b].idx
+	})
+
+	cur := bottleneck()
+	waveSaved := make(map[int]float64, len(events))
+	out := make([]testbed.Mutation, 0, len(events))
+	emitLink := func(at float64) {
+		if b := bottleneck(); b != cur {
+			cur = b
+			out = append(out, testbed.Mutation{At: at, Kind: testbed.MutLinkCapacity, Capacity: b})
+		}
+	}
+	for _, ev := range events {
+		m := ev.spec
+		switch m.Kind {
+		case KindLinkCapacity:
+			caps[m.Link] = m.Capacity
+			emitLink(ev.at)
+		case KindCrossTraffic:
+			if ev.end {
+				caps[m.Link] = waveSaved[ev.idx]
+				emitLink(ev.at)
+				break
+			}
+			have := caps[m.Link]
+			if m.Rate >= have {
+				return nil, fmt.Errorf("scenario: mutation %d cross-traffic rate %g ≥ link capacity %g at t=%g",
+					ev.idx, m.Rate, have, ev.at)
+			}
+			waveSaved[ev.idx] = have
+			caps[m.Link] = have - m.Rate
+			emitLink(ev.at)
+		case KindRTT:
+			out = append(out, testbed.Mutation{At: ev.at, Kind: testbed.MutRTT, RTT: m.RTT})
+		case KindSrcStore:
+			out = append(out, testbed.Mutation{At: ev.at, Kind: testbed.MutSrcStore, Capacity: m.Capacity, PerProc: m.PerProc})
+		case KindDstStore:
+			out = append(out, testbed.Mutation{At: ev.at, Kind: testbed.MutDstStore, Capacity: m.Capacity, PerProc: m.PerProc})
+		case KindGrowDataset:
+			files := make([]dataset.File, m.Grow.Count)
+			for j := range files {
+				// Names are namespaced by the mutation index so repeated
+				// growths of one agent can never collide with each other
+				// or with the base "<label>-NNNNNN.dat" files.
+				files[j] = dataset.File{Name: fmt.Sprintf("%s-grow%d-%06d.dat", m.Agent, ev.idx, j), Size: m.Grow.Size}
+			}
+			out = append(out, testbed.Mutation{At: ev.at, Kind: testbed.MutGrowDataset, Task: m.Agent, Files: files})
+		}
+	}
+	return out, nil
+}
+
+// buildController constructs the agent's decision maker; the name
+// space matches cmd/falconsim's -algo flag.
+func buildController(algo string, maxN int, seed int64) (testbed.Controller, error) {
+	switch {
+	case algo == "gd" || algo == "bo" || algo == "hc":
+		return core.NewAgentByName(algo, maxN, seed)
+	case algo == "globus":
+		return baselines.NewGlobus(dataset.Main())
+	case algo == "harp":
+		return baselines.NewHARP(baselines.SyntheticHistory(1.2e9, 9.5e9, 16), maxN)
+	case strings.HasPrefix(algo, "fixed:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(algo, "fixed:"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad fixed concurrency %q", algo)
+		}
+		return testbed.FixedController{S: transfer.Setting{Concurrency: n, Parallelism: 1, Pipelining: 1}}, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", algo)
+}
+
+// NewEngine constructs the run's engine with every compiled mutation
+// scheduled as a horizon.
+func (r *Run) NewEngine() (*testbed.Engine, error) {
+	eng, err := testbed.NewEngine(r.Config, r.Doc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range r.Mutations {
+		if err := eng.ScheduleMutation(m); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// ExecOptions hook observers into an execution.
+type ExecOptions struct {
+	// Logf receives progress lines (joins, leaves, completions).
+	Logf func(format string, args ...any)
+	// Events receives the typed session event stream.
+	Events session.Sink
+}
+
+// Execute runs the scenario end to end — engine, mutation horizons,
+// one session loop per participant — and returns the recorded
+// timeline. A Run's tasks accumulate state, so Execute refuses a
+// second call; Build the document again instead.
+func (r *Run) Execute(opt ExecOptions) (*testbed.Timeline, error) {
+	if r.used {
+		return nil, fmt.Errorf("scenario: run %q already executed; Build again", r.Doc.Name)
+	}
+	r.used = true
+	eng, err := r.NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	sched := testbed.NewScheduler(eng, r.Doc.RecordSeconds)
+	if opt.Logf != nil {
+		sched.SetLogf(opt.Logf)
+	}
+	if opt.Events != nil {
+		sched.SetEventSink(opt.Events)
+	}
+	for _, p := range r.Participants {
+		if err := sched.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return sched.Run(r.Doc.DurationSeconds, r.Doc.TickSeconds), nil
+}

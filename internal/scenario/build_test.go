@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+// TestBuildRoster: expansion order, join staggering, and per-agent
+// seeding feed through to the participants.
+func TestBuildRoster(t *testing.T) {
+	d := &Document{Preset: "fleet", Agents: []AgentSpec{
+		{ID: "hc", Count: 3, Algorithm: "hc", JoinStagger: 3, MaxConcurrency: 8},
+		{ID: "solo", Algorithm: "fixed:5", JoinAt: 10, LeaveAt: 200},
+	}}
+	run, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"hc1", "hc2", "hc3", "solo"}; !reflect.DeepEqual(run.AgentIDs, want) {
+		t.Fatalf("AgentIDs = %v, want %v", run.AgentIDs, want)
+	}
+	if len(run.Participants) != 4 {
+		t.Fatalf("%d participants", len(run.Participants))
+	}
+	for i, wantJoin := range []float64{0, 3, 6, 10} {
+		if got := run.Participants[i].JoinAt; got != wantJoin {
+			t.Errorf("participant %d JoinAt = %v, want %v", i, got, wantJoin)
+		}
+	}
+	if run.Participants[3].LeaveAt != 200 {
+		t.Errorf("solo LeaveAt = %v", run.Participants[3].LeaveAt)
+	}
+	if run.Participants[3].Task.Setting().Concurrency != 5 {
+		t.Errorf("fixed:5 initial concurrency = %d", run.Participants[3].Task.Setting().Concurrency)
+	}
+	for i, p := range run.Participants {
+		if p.Task.ID() != run.AgentIDs[i] {
+			t.Errorf("participant %d task %q ≠ agent ID %q", i, p.Task.ID(), run.AgentIDs[i])
+		}
+	}
+}
+
+// TestCompileCrossTrafficWave: a wave lowers to an absolute capacity
+// drop at its start and a restore at its end.
+func TestCompileCrossTrafficWave(t *testing.T) {
+	d := &Document{Preset: "fleet", DurationSeconds: 600, Agents: []AgentSpec{{Count: 2}},
+		Mutations: []MutationSpec{{At: 300, Kind: KindCrossTraffic, Rate: 7.5e9, DurationSeconds: 120}}}
+	run, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []testbed.Mutation{
+		{At: 300, Kind: testbed.MutLinkCapacity, Capacity: 2.5e9},
+		{At: 420, Kind: testbed.MutLinkCapacity, Capacity: 10e9},
+	}
+	if !reflect.DeepEqual(run.Mutations, want) {
+		t.Fatalf("compiled = %+v, want %+v", run.Mutations, want)
+	}
+
+	// A wave claiming the whole link is a build error, not a zero cap.
+	d2 := &Document{Preset: "fleet", DurationSeconds: 600, Agents: []AgentSpec{{}},
+		Mutations: []MutationSpec{{At: 300, Kind: KindCrossTraffic, Rate: 10e9, DurationSeconds: 60}}}
+	if _, err := d2.Build(); err == nil {
+		t.Fatal("wave rate ≥ capacity built without error")
+	}
+}
+
+// TestCompileTopologyMutations: link changes re-derive the routed
+// path's bottleneck; off-route links track state but emit nothing.
+func TestCompileTopologyMutations(t *testing.T) {
+	d := &Document{
+		Preset:          "fleet",
+		DurationSeconds: 600,
+		Topology: &TopologySpec{Dumbbell: &DumbbellSpec{
+			Hosts: 2, AccessCap: 40e9, BottleneckCap: 10e9, BottleneckLatency: 0.015}},
+		Agents: []AgentSpec{{Count: 2}},
+		Mutations: []MutationSpec{
+			// Off the src0→dst0 route: tracked, no horizon emitted.
+			{At: 50, Kind: KindLinkCapacity, Link: "access-src1", Capacity: 1e9},
+			// On-route access link, still above the 10 G bottleneck: no
+			// bottleneck change, no horizon.
+			{At: 100, Kind: KindLinkCapacity, Link: "access-src0", Capacity: 20e9},
+			// Access link dips below the middle hop: bottleneck moves.
+			{At: 200, Kind: KindLinkCapacity, Link: "access-src0", Capacity: 4e9},
+			// Wave on the middle hop while the access link binds at 4G:
+			// 10-6=4 G does not change the 4 G bottleneck → only the
+			// restore... neither end changes it.
+			{At: 300, Kind: KindCrossTraffic, Link: "bottleneck", Rate: 6e9, DurationSeconds: 50},
+			// Deeper wave: 10-9=1 G binds.
+			{At: 400, Kind: KindCrossTraffic, Link: "bottleneck", Rate: 9e9, DurationSeconds: 50},
+		},
+	}
+	run, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RTT derived from the route: 2 × (0.0005 + 0.015 + 0.0005).
+	if want := 0.032; math.Abs(run.Config.RTT-want) > 1e-12 {
+		t.Fatalf("routed RTT = %v, want %v", run.Config.RTT, want)
+	}
+	if run.Config.LinkCapacity != 10e9 {
+		t.Fatalf("routed link capacity = %v, want 10e9", run.Config.LinkCapacity)
+	}
+	want := []testbed.Mutation{
+		{At: 200, Kind: testbed.MutLinkCapacity, Capacity: 4e9},
+		{At: 400, Kind: testbed.MutLinkCapacity, Capacity: 1e9},
+		{At: 450, Kind: testbed.MutLinkCapacity, Capacity: 4e9},
+	}
+	if !reflect.DeepEqual(run.Mutations, want) {
+		t.Fatalf("compiled = %+v\nwant %+v", run.Mutations, want)
+	}
+}
+
+// TestCompileGrowDataset: grow mutations name files that cannot collide
+// with the base dataset or with other growths.
+func TestCompileGrowDataset(t *testing.T) {
+	d := &Document{Preset: "emulab", Agents: []AgentSpec{{ID: "a"}},
+		Mutations: []MutationSpec{
+			{At: 10, Kind: KindGrowDataset, Agent: "a", Grow: &GrowSpec{Count: 2, Size: 5}},
+			{At: 20, Kind: KindGrowDataset, Agent: "a", Grow: &GrowSpec{Count: 1, Size: 7}},
+		}}
+	run, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Mutations) != 2 {
+		t.Fatalf("%d compiled mutations", len(run.Mutations))
+	}
+	seen := map[string]bool{}
+	for _, m := range run.Mutations {
+		if m.Kind != testbed.MutGrowDataset || m.Task != "a" {
+			t.Fatalf("unexpected mutation %+v", m)
+		}
+		for _, f := range m.Files {
+			if seen[f.Name] {
+				t.Fatalf("duplicate grown file name %q", f.Name)
+			}
+			seen[f.Name] = true
+		}
+	}
+	if !seen["a-grow0-000000.dat"] || !seen["a-grow1-000000.dat"] {
+		t.Fatalf("grown names not namespaced by mutation index: %v", seen)
+	}
+}
+
+// TestExecuteSingleUse: tasks are stateful, so a Run refuses a second
+// execution.
+func TestExecuteSingleUse(t *testing.T) {
+	d := &Document{Preset: "emulab", DurationSeconds: 10, Agents: []AgentSpec{{Algorithm: "fixed:2"}}}
+	run, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Execute(ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Execute(ExecOptions{}); err == nil {
+		t.Fatal("second Execute succeeded")
+	}
+	// Building the document again yields a fresh run.
+	run2, err := d.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run2.Execute(ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScenarioExecutionDeterministic: two runs built from the same
+// document produce identical timelines, and mutation horizons do not
+// disturb that.
+func TestScenarioExecutionDeterministic(t *testing.T) {
+	doc := func() *Document {
+		return &Document{Preset: "fleet", DurationSeconds: 120, Agents: []AgentSpec{
+			{Count: 3, Algorithm: "gd", JoinStagger: 2, MaxConcurrency: 8}},
+			Mutations: []MutationSpec{{At: 60, Kind: KindCrossTraffic, Rate: 7.5e9, DurationSeconds: 30}}}
+	}
+	exec := func() *testbed.Timeline {
+		run, err := doc().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := run.Execute(ExecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl
+	}
+	if !reflect.DeepEqual(exec(), exec()) {
+		t.Fatal("same document, different timelines")
+	}
+}

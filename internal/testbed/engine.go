@@ -87,6 +87,13 @@ type Engine struct {
 	memoOK   bool
 	memoKey  []demandKey
 	memoCaps [4]float64
+	// memoGen is the network's capacity generation the cached
+	// allocation was computed under. Contention capacities are covered
+	// by memoCaps, but the link (and any capacity touched by an
+	// environment mutation) is not — the generation counter makes a
+	// stale fill impossible even if a mutation path forgets to clear
+	// memoOK. Idempotent per-tick capacity refreshes don't advance it.
+	memoGen uint64
 
 	// Event-horizon fast path (RunTicks). factive snapshots the active
 	// states the cached allocation covers; fastOK reports that their
@@ -99,6 +106,13 @@ type Engine struct {
 	fastOK      bool
 	stepChanged bool
 	factive     []*taskState
+
+	// Timed environment mutations (see mutation.go): muts[:mutNext] is
+	// the applied prefix, muts[mutNext:] the pending schedule sorted by
+	// (At, seq), mutSeq the next tie-break sequence number.
+	muts    []Mutation
+	mutNext int
+	mutSeq  int
 
 	// drained lists the IDs of tasks that completed their dataset during
 	// the most recent public advance (Step or RunTicks call), in
@@ -296,6 +310,13 @@ func (e *Engine) step(dt float64) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("testbed: Step(%v) must be positive", dt))
 	}
+	if e.mutationDue() {
+		// Apply before demands are rebuilt so this tick already runs
+		// under the mutated environment; fastReady refuses to replay a
+		// tick with a due mutation, so batched and exact stepping both
+		// land here at the same tick.
+		e.applyDueMutations()
+	}
 	active := e.activeStates()
 	if len(active) == 0 {
 		e.now += dt
@@ -432,6 +453,9 @@ func (e *Engine) fastReady() bool {
 	if e.exact || !e.fastOK {
 		return false
 	}
+	if e.mutationDue() {
+		return false
+	}
 	for _, st := range e.factive {
 		if st.gen != st.task.Generation() {
 			return false
@@ -559,10 +583,11 @@ func (e *Engine) StepUntil(t, dt float64) {
 // grows toward equilibrium) can make the estimate early but never
 // late-beyond-the-event in steady state; RunTicks re-verifies every
 // tick regardless, so the estimate affects macro-step sizing only,
-// never correctness. Returns +Inf when nothing is in sight (no active
-// tasks, or all rates zero).
+// never correctness. Pending environment mutations bound the estimate
+// too: the allocation inputs change at the mutation's tick. Returns
+// +Inf when nothing is in sight (no active tasks, or all rates zero).
 func (e *Engine) NextEvent() float64 {
-	h := math.Inf(1)
+	h := e.NextMutation()
 	for _, id := range e.order {
 		st := e.state[id]
 		if st.task.Done() {
@@ -591,6 +616,9 @@ func (e *Engine) memoValid(demands []netsim.Demand, caps [4]float64) bool {
 	if e.memoOff || !e.memoOK || caps != e.memoCaps || len(demands) != len(e.memoKey) {
 		return false
 	}
+	if e.net.CapacityGeneration() != e.memoGen {
+		return false
+	}
 	for i := range demands {
 		k := &e.memoKey[i]
 		if demands[i].FlowID != k.id || demands[i].Cap != k.cap || demands[i].Weight != k.weight {
@@ -611,6 +639,7 @@ func (e *Engine) memoRecord(demands []netsim.Demand, caps [4]float64) {
 		e.memoKey = append(e.memoKey, demandKey{id: demands[i].FlowID, cap: demands[i].Cap, weight: demands[i].Weight})
 	}
 	e.memoCaps = caps
+	e.memoGen = e.net.CapacityGeneration()
 	e.memoOK = true
 }
 

@@ -1,0 +1,92 @@
+package transfer
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestExtendGrowsPrivately: Extend switches the task to a private
+// copy-on-write dataset — totals grow, the generation bumps, and other
+// tasks sharing the original interned dataset are untouched.
+func TestExtendGrowsPrivately(t *testing.T) {
+	shared := dataset.Uniform("extend-shared", 5, 1000)
+	a, err := NewTask("a", shared, DefaultSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTask("b", shared, DefaultSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := a.Generation()
+	if err := a.Extend([]dataset.File{{Name: "x0", Size: 500}, {Name: "x1", Size: 500}}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Generation() != gen+1 {
+		t.Fatalf("generation = %d, want %d", a.Generation(), gen+1)
+	}
+	if got := a.BytesRemaining(); got != 6000 {
+		t.Fatalf("a remaining = %d, want 6000", got)
+	}
+	if got := b.BytesRemaining(); got != 5000 {
+		t.Fatalf("b remaining = %d after a's Extend, want 5000 — shared dataset mutated", got)
+	}
+	if len(shared.Files) != 5 {
+		t.Fatalf("interned dataset grew to %d files", len(shared.Files))
+	}
+}
+
+// TestExtendRevivesDrainedTask: a task that finished its dataset
+// becomes active again with the appended files.
+func TestExtendRevivesDrainedTask(t *testing.T) {
+	ds := dataset.Uniform("extend-drain", 2, 1000)
+	task, err := NewTask("d", ds, Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain: 2000 bytes at 8000 bits/s (1000 B/s) takes 2 s.
+	task.Advance(1e9, 10)
+	if !task.Done() || task.ActiveFiles() != 0 {
+		t.Fatalf("task not drained: done=%v active=%d", task.Done(), task.ActiveFiles())
+	}
+	if err := task.Extend([]dataset.File{{Name: "new", Size: 4000}}); err != nil {
+		t.Fatal(err)
+	}
+	if task.Done() {
+		t.Fatal("task still done after Extend")
+	}
+	if task.ActiveFiles() != 1 {
+		t.Fatalf("ActiveFiles = %d, want 1", task.ActiveFiles())
+	}
+	if got := task.BytesRemaining(); got != 4000 {
+		t.Fatalf("remaining = %d, want 4000", got)
+	}
+}
+
+// TestExtendRejectsBadInput: empty batches, unnamed files, non-positive
+// sizes, and duplicate names are errors that leave the task unchanged.
+func TestExtendRejectsBadInput(t *testing.T) {
+	task, err := NewTask("r", dataset.Uniform("extend-bad", 3, 1000), DefaultSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, rem := task.Generation(), task.BytesRemaining()
+	cases := [][]dataset.File{
+		nil,
+		{},
+		{{Name: "", Size: 1}},
+		{{Name: "ok", Size: 0}},
+		{{Name: "ok", Size: -5}},
+		{{Name: "extend-bad-000001.dat", Size: 1}}, // duplicates a base file
+		{{Name: "twice", Size: 1}, {Name: "twice", Size: 1}},
+	}
+	for i, files := range cases {
+		if err := task.Extend(files); err == nil {
+			t.Errorf("case %d: Extend(%v) succeeded", i, files)
+		}
+	}
+	if task.Generation() != gen || task.BytesRemaining() != rem {
+		t.Fatal("rejected Extend mutated the task")
+	}
+}

@@ -151,6 +151,48 @@ func (t *Task) SetSetting(s Setting) error {
 // comparing whole settings.
 func (t *Task) Generation() int { return t.gen }
 
+// Extend appends files to the task's dataset mid-transfer — the
+// "dataset grows while the transfer runs" disturbance of dynamic
+// scenarios. Datasets are immutable and may be shared across tasks, so
+// the task switches to a private copy-on-write dataset holding the old
+// files plus the new ones; other tasks sharing the original are
+// unaffected. A task that had drained its dataset becomes active again
+// and resumes with the first appended file. It returns an error for
+// empty input, files with empty names or non-positive sizes, or names
+// duplicating the task's existing files.
+func (t *Task) Extend(files []dataset.File) error {
+	if len(files) == 0 {
+		return fmt.Errorf("transfer: Extend with no files")
+	}
+	seen := make(map[string]bool, len(t.ds.Files)+len(files))
+	for _, f := range t.ds.Files {
+		seen[f.Name] = true
+	}
+	for _, f := range files {
+		if f.Name == "" {
+			return fmt.Errorf("transfer: Extend file with empty name")
+		}
+		if f.Size <= 0 {
+			return fmt.Errorf("transfer: Extend file %q has non-positive size %d", f.Name, f.Size)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("transfer: Extend duplicates file name %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	grown := &dataset.Dataset{Label: t.ds.Label}
+	grown.Files = make([]dataset.File, 0, len(t.ds.Files)+len(files))
+	grown.Files = append(grown.Files, t.ds.Files...)
+	grown.Files = append(grown.Files, files...)
+	t.ds = grown
+	t.totalBytes = grown.TotalBytes()
+	// An extension changes ActiveFiles and HorizonBytes out of band, the
+	// same way a retune does; the generation bump lets engines detect it
+	// between macro-steps.
+	t.gen++
+	return nil
+}
+
 // Done reports whether every byte of the dataset has been sent.
 func (t *Task) Done() bool { return t.nextFile >= len(t.ds.Files) }
 

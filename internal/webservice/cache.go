@@ -9,13 +9,24 @@ import (
 // content-addressed reuse.
 const defaultCacheSize = 64
 
-// cacheKey content-addresses a scenario: every field of the normalised
-// request that influences the run is part of the address, and nothing
-// else is. Two requests with the same key are the same deterministic
-// simulation, so a completed result can be served verbatim.
-func cacheKey(r ScenarioRequest) string {
-	return fmt.Sprintf("%s|%s|%d|%g|%g|%d|%d",
-		r.Testbed, r.Algorithm, r.Agents, r.StaggerSeconds, r.DurationSeconds, r.Seed, r.MaxConcurrency)
+// cacheKey content-addresses a scenario by the SHA-256 of its full
+// normalised document — topology, environment, agent roster, AND the
+// mutation schedule — so every field that influences the run is part
+// of the address and nothing else is. Two requests with the same key
+// are the same deterministic simulation, so a completed result can be
+// served verbatim; scenarios differing only in their mutation schedule
+// hash apart and never alias. Flat legacy requests are lowered onto
+// documents by normalise, so both request shapes share one key space
+// (a flat request and its equivalent document deduplicate).
+func cacheKey(r ScenarioRequest) (string, error) {
+	if r.doc == nil {
+		return "", fmt.Errorf("webservice: request was not normalised")
+	}
+	h, err := r.doc.Hash()
+	if err != nil {
+		return "", err
+	}
+	return "doc|" + h, nil
 }
 
 // resultCache is an LRU map from cacheKey to a completed scenario.

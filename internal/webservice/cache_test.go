@@ -90,7 +90,14 @@ func TestResultCacheLRU(t *testing.T) {
 	mk := func(seed int64) (string, *Scenario) {
 		r := ScenarioRequest{Testbed: "emulab", Algorithm: "gd", Agents: 1,
 			StaggerSeconds: 120, DurationSeconds: 60, Seed: seed, MaxConcurrency: 64}
-		return cacheKey(r), &Scenario{Request: r, Status: "done"}
+		if err := r.normalise(); err != nil {
+			t.Fatal(err)
+		}
+		k, err := cacheKey(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k, &Scenario{Request: r, Status: "done"}
 	}
 	k1, s1 := mk(1)
 	k2, s2 := mk(2)

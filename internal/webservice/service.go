@@ -1,6 +1,8 @@
 // Package webservice implements the paper's §6 future work: a web
 // service for deploying Falcon without local installation. Clients
-// POST a scenario (testbed, algorithm, number of competing agents) and
+// POST a scenario — either the legacy flat form (testbed, algorithm,
+// number of competing agents) or a full declarative scenario document
+// (see internal/scenario) with topology and a mutation schedule — and
 // poll for JSON results and SVG timelines while the scenario runs in
 // the background.
 //
@@ -17,33 +19,68 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/dataset"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/testbed"
-	"repro/internal/transfer"
 )
 
-// ScenarioRequest is the POST /api/scenarios payload.
+// Service-level bounds on POSTed scenario documents, looser than the
+// legacy flat-request bounds but still protecting the worker pool.
+const (
+	maxDocAgents   = 512
+	maxDocDuration = 3600.0
+)
+
+// ScenarioRequest is the POST /api/scenarios payload. Either the flat
+// legacy fields or Scenario may be used, not both; internally the flat
+// form is lowered onto a scenario document, so both shapes run (and
+// cache) through the same path.
 type ScenarioRequest struct {
 	// Testbed names the environment: emulab, emulab-1g, xsede, hpclab,
-	// campus, wan.
-	Testbed string `json:"testbed"`
+	// campus, wan, fleet.
+	Testbed string `json:"testbed,omitempty"`
 	// Algorithm is one of gd, bo, hc.
-	Algorithm string `json:"algorithm"`
+	Algorithm string `json:"algorithm,omitempty"`
 	// Agents is the number of competing Falcon transfers (≥1).
-	Agents int `json:"agents"`
+	Agents int `json:"agents,omitempty"`
 	// StaggerSeconds separates agent joins. Default 120 when Agents>1.
-	StaggerSeconds float64 `json:"stagger_seconds"`
+	StaggerSeconds float64 `json:"stagger_seconds,omitempty"`
 	// DurationSeconds is the simulated horizon. Default 300.
-	DurationSeconds float64 `json:"duration_seconds"`
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
 	// Seed makes runs reproducible. Default 1.
-	Seed int64 `json:"seed"`
+	Seed int64 `json:"seed,omitempty"`
 	// MaxConcurrency bounds the search space. Default 64.
-	MaxConcurrency int `json:"max_concurrency"`
+	MaxConcurrency int `json:"max_concurrency,omitempty"`
+	// Scenario is a full declarative scenario document (the
+	// internal/scenario JSON schema), mutually exclusive with the flat
+	// fields above.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+
+	// doc is the normalised document every accepted request lowers to.
+	doc *scenario.Document
 }
 
-// normalise applies defaults and validates.
+// normalise applies defaults, validates, and lowers the request onto a
+// scenario document (stored in r.doc).
 func (r *ScenarioRequest) normalise() error {
+	if len(r.Scenario) > 0 {
+		if r.Testbed != "" || r.Algorithm != "" || r.Agents != 0 || r.StaggerSeconds != 0 ||
+			r.DurationSeconds != 0 || r.Seed != 0 || r.MaxConcurrency != 0 {
+			return fmt.Errorf("scenario document and flat fields are mutually exclusive")
+		}
+		doc, err := scenario.Parse(r.Scenario)
+		if err != nil {
+			return err
+		}
+		if n := len(doc.AgentIDs()); n > maxDocAgents {
+			return fmt.Errorf("scenario has %d agents; service accepts at most %d", n, maxDocAgents)
+		}
+		if doc.DurationSeconds > maxDocDuration {
+			return fmt.Errorf("scenario duration %gs exceeds the service cap %gs", doc.DurationSeconds, maxDocDuration)
+		}
+		r.doc = doc
+		return nil
+	}
 	if r.Agents == 0 {
 		r.Agents = 1
 	}
@@ -78,29 +115,30 @@ func (r *ScenarioRequest) normalise() error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", r.Algorithm)
 	}
-	if _, ok := lookupTestbed(r.Testbed); !ok {
+	if _, ok := scenario.PresetConfig(r.Testbed); !ok {
 		return fmt.Errorf("unknown testbed %q", r.Testbed)
 	}
-	return nil
-}
-
-func lookupTestbed(name string) (testbed.Config, bool) {
-	switch name {
-	case "emulab":
-		return testbed.Emulab(10e6), true
-	case "emulab-1g":
-		return testbed.EmulabGigabit(20.83e6), true
-	case "xsede":
-		return testbed.XSEDE(), true
-	case "hpclab":
-		return testbed.HPCLab(), true
-	case "campus":
-		return testbed.CampusCluster(), true
-	case "wan":
-		return testbed.StampedeCometWAN(), true
-	default:
-		return testbed.Config{}, false
+	// Lower the flat request onto a document. One unnamed spec with
+	// Count expands to agents "agent1".."agentN" seeded Seed+i with
+	// default initial knobs and private per-agent datasets — exactly
+	// the participants the service built before it spoke documents.
+	doc := &scenario.Document{
+		Version:         scenario.Version,
+		Preset:          r.Testbed,
+		Seed:            r.Seed,
+		DurationSeconds: r.DurationSeconds,
+		Agents: []scenario.AgentSpec{{
+			Count:          r.Agents,
+			Algorithm:      r.Algorithm,
+			JoinStagger:    r.StaggerSeconds,
+			MaxConcurrency: r.MaxConcurrency,
+		}},
 	}
+	if err := doc.Normalise(); err != nil {
+		return err
+	}
+	r.doc = doc
+	return nil
 }
 
 // AgentResult summarises one agent's outcome.
@@ -214,10 +252,14 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid scenario: %v", err)
 		return
 	}
+	key, err := cacheKey(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+		return
+	}
 	s.mu.Lock()
 	s.next++
 	id := fmt.Sprintf("s%04d", s.next)
-	key := cacheKey(req)
 	if hit, ok := s.cache.get(key); ok {
 		// The simulation is a pure function of the normalised request,
 		// so the stored outcome is exactly what a re-run would produce.
@@ -259,45 +301,29 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 // run executes the scenario synchronously and stores the outcome.
+// Every request — flat or document — runs through scenario.Build and
+// Run.Execute, so dynamic scenarios with mutation schedules take the
+// same path as the legacy flat form.
 func (s *Service) run(sc *Scenario) {
-	cfg, _ := lookupTestbed(sc.Request.Testbed)
-	eng, err := testbed.NewEngine(cfg, sc.Request.Seed)
+	doc := sc.Request.doc
+	run, err := doc.Build()
 	if err != nil {
 		s.fail(sc, err)
 		return
 	}
-	sched := testbed.NewScheduler(eng, 1)
-	sched.SetEventSink(sc.progress.Sink())
-	for i := 0; i < sc.Request.Agents; i++ {
-		agent, err := core.NewAgentByName(sc.Request.Algorithm, sc.Request.MaxConcurrency, sc.Request.Seed+int64(i))
-		if err != nil {
-			s.fail(sc, err)
-			return
-		}
-		id := fmt.Sprintf("agent%d", i+1)
-		task, err := transfer.NewTask(id, dataset.Uniform(id, 20000, int64(dataset.GB)),
-			transfer.Setting{Concurrency: 2, Parallelism: 1, Pipelining: 1})
-		if err != nil {
-			s.fail(sc, err)
-			return
-		}
-		if err := sched.Add(testbed.Participant{
-			Task: task, Controller: agent, JoinAt: float64(i) * sc.Request.StaggerSeconds,
-		}); err != nil {
-			s.fail(sc, err)
-			return
-		}
+	tl, err := run.Execute(scenario.ExecOptions{Events: sc.progress.Sink()})
+	if err != nil {
+		s.fail(sc, err)
+		return
 	}
-	tl := sched.Run(sc.Request.DurationSeconds, 0.25)
 
 	var results []AgentResult
 	var shares []float64
-	for i := 0; i < sc.Request.Agents; i++ {
-		id := fmt.Sprintf("agent%d", i+1)
-		mean := tl.MeanThroughputGbps(id, sc.Request.DurationSeconds/2, sc.Request.DurationSeconds)
+	for _, id := range run.AgentIDs {
+		mean := tl.MeanThroughputGbps(id, doc.DurationSeconds/2, doc.DurationSeconds)
 		cc := 0.0
 		if series := tl.Concurrency.Lookup(id); series != nil {
-			cc = series.MeanAfter(sc.Request.DurationSeconds / 2)
+			cc = series.MeanAfter(doc.DurationSeconds / 2)
 		}
 		results = append(results, AgentResult{ID: id, MeanGbps: round3(mean), MeanConcurrency: round3(cc)})
 		shares = append(shares, mean)
