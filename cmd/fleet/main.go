@@ -10,8 +10,15 @@
 // Usage:
 //
 //	fleet [-n N] [-duration S] [-stagger S] [-maxn N] [-seed N] [-algos hc,gd,bo]
-//	      [-exact] [-scan] [-cpuprofile FILE] [-memprofile FILE]
-//	fleet -scenario FILE.json [-seed N] [-exact] [-scan]
+//	      [-links K] [-shards W] [-json] [-exact] [-scan]
+//	      [-cpuprofile FILE] [-memprofile FILE]
+//	fleet -scenario FILE.json [-seed N] [-shards W] [-exact] [-scan]
+//
+// With -links K > 1 the fleet spreads over K independent bottleneck
+// links (session i routes over link i mod K); each link's sessions run
+// as their own shard and -shards bounds how many shards step
+// concurrently. -json replaces the report with a one-line summary
+// (Jain, aggregate Gbps, wall seconds, sessions/sec).
 //
 // With -scenario, the flag-built fleet is replaced by a declarative
 // scenario document (see internal/scenario) and the run reports
@@ -25,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +57,9 @@ func run() int {
 	maxn := flag.Int("maxn", 8, "concurrency search-domain bound per agent")
 	seed := flag.Int64("seed", 1, "base seed (session i's agent is seeded seed+i)")
 	algos := flag.String("algos", "hc,gd,bo", "comma-separated algorithm mix cycled across sessions")
+	links := flag.Int("links", 1, "number of independent bottleneck links; session i routes over link i mod links, each link runs as its own shard")
+	shards := flag.Int("shards", 0, "max shards stepped concurrently (0 = harness default, 1 = serial); never affects output")
+	jsonOut := flag.Bool("json", false, "emit a one-line machine-readable JSON summary instead of the report")
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario document (JSON) through the dynamic-fleet report instead of the flag-built fleet")
 	exact := flag.Bool("exact", false, "simulate on the exact always-tick path instead of event-horizon stepping")
 	scan := flag.Bool("scan", false, "use the legacy linear-scan scheduler loop instead of the event queue (A/B baseline; output must be byte-identical)")
@@ -122,20 +133,34 @@ func run() int {
 		}
 	}
 	start := time.Now()
-	res, err := experiments.Fleet(experiments.FleetConfig{
+	res, sum, err := experiments.Fleet(experiments.FleetConfig{
 		Sessions:   *n,
 		Duration:   *duration,
 		Stagger:    *stagger,
 		MaxN:       *maxn,
 		Seed:       *seed,
 		Algorithms: list,
+		Links:      *links,
+		Workers:    *shards,
 	})
 	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 		return 1
 	}
-	if err := res.Render(os.Stdout); err != nil {
+	if *jsonOut {
+		out := struct {
+			experiments.FleetSummary
+			WallSeconds    float64 `json:"wall_seconds"`
+			SessionsPerSec float64 `json:"sessions_per_sec"`
+		}{*sum, wall.Seconds(), float64(*n) / wall.Seconds()}
+		enc, err := json.Marshal(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(enc))
+	} else if err := res.Render(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 		return 1
 	}

@@ -173,6 +173,7 @@ var requiredBenchmarks = []string{
 	"BenchmarkAllocate1kFlows",
 	"BenchmarkFleetStep",
 	"BenchmarkFleetStep10k",
+	"BenchmarkFleetStep100k",
 }
 
 // checkRequired verifies every required benchmark produced a result.
@@ -318,6 +319,31 @@ func timeFleet(seed int64) ([]FleetTiming, error) {
 		return nil, err
 	}
 
+	// The sharded 100k-session fleet: ten independent 10 Gbps
+	// bottleneck links, each link's sessions on their own engine. The
+	// same run is timed serially and with four shard workers; on a
+	// multi-core host the second figure shows the shard-parallel
+	// speedup (output is byte-identical either way).
+	const (
+		bigSessions = 100000
+		bigDuration = 120.0
+	)
+	var sharded []FleetTiming
+	for _, workers := range []string{"1", "4"} {
+		tm, err := run(FleetTiming{Sessions: bigSessions, DurationSec: bigDuration}, []string{
+			"-n", strconv.Itoa(bigSessions),
+			"-duration", strconv.FormatFloat(bigDuration, 'f', -1, 64),
+			"-stagger", "0.001",
+			"-links", "10",
+			"-shards", workers,
+			"-seed", strconv.FormatInt(seed, 10),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sharded = append(sharded, tm)
+	}
+
 	// The same fleet under a mid-run cross-traffic wave. The document
 	// mirrors the static workload's join ramp (one join every 50 ms,
 	// hc/gd/bo interleaved), so the two numbers differ only by the
@@ -337,7 +363,7 @@ func timeFleet(seed int64) ([]FleetTiming, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []FleetTiming{static, dynamic}, nil
+	return append([]FleetTiming{static, dynamic}, sharded...), nil
 }
 
 // timeReproduce builds cmd/reproduce once and times a full serial run

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -48,12 +49,19 @@ func DynamicFleet(doc *scenario.Document) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	events := make([]testbed.Mutation, 0, len(run.Mutations))
-	for _, m := range run.Mutations {
-		if m.Kind == testbed.MutLinkCapacity {
-			events = append(events, m)
+	// Gather the link-capacity horizons from the per-shard schedules:
+	// a mutation on a pinned route compiles only into the shard it
+	// touches, so the legacy default-route schedule alone would miss
+	// it. Shard order breaks same-time ties deterministically.
+	var events []testbed.Mutation
+	for _, sp := range run.Shards {
+		for _, m := range sp.Mutations {
+			if m.Kind == testbed.MutLinkCapacity {
+				events = append(events, m)
+			}
 		}
 	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 	if len(events) == 0 {
 		return nil, fmt.Errorf("dynamicfleet: scenario %q has no link mutations", doc.Name)
 	}
@@ -113,14 +121,19 @@ func DynamicFleet(doc *scenario.Document) (*Result, error) {
 			ev.At, ev.Capacity/1e9, before, dip, refairCell)
 	}
 
-	// Equilibrium sanity over the final window.
+	// Equilibrium sanity over the final window. The capacity label sums
+	// the shard bottlenecks (a single-shard run is just its one link).
 	finalJ := jain(horizon - window)
 	agg := 0.0
 	for _, id := range run.AgentIDs {
 		agg += tl.MeanThroughputGbps(id, horizon-window, horizon)
 	}
+	capacity := 0.0
+	for _, sp := range run.Shards {
+		capacity += sp.Config.LinkCapacity
+	}
 	r.AddNote("final window [%.0fs, %.0fs]: Jain %.3f, aggregate %.2f Gbps (link %.1f Gbps)",
-		horizon-window, horizon, finalJ, agg, run.Config.LinkCapacity/1e9)
+		horizon-window, horizon, finalJ, agg, capacity/1e9)
 	return r, nil
 }
 

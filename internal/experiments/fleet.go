@@ -31,6 +31,15 @@ type FleetConfig struct {
 	// Algorithms are cycled across sessions by index. Empty means
 	// the hc/gd/bo mix.
 	Algorithms []string
+	// Links is the number of independent 10 Gbps bottleneck links.
+	// Session i routes over link i mod Links, and each link runs as
+	// its own shard (testbed.ShardSet) because its sessions never
+	// contend with the others'. Default 1 — the classic single
+	// shared bottleneck, executed exactly as before.
+	Links int
+	// Workers bounds how many shards step concurrently (≤1 serial,
+	// 0 the parallel harness default). Never affects output.
+	Workers int
 }
 
 // withDefaults fills zero fields with the standard fleet shape:
@@ -51,7 +60,23 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	if len(c.Algorithms) == 0 {
 		c.Algorithms = []string{core.AlgoHillClimbing, core.AlgoGradient, core.AlgoBayesian}
 	}
+	if c.Links <= 0 {
+		c.Links = 1
+	}
 	return c
+}
+
+// FleetSummary is the machine-readable distillation of a fleet run,
+// for cmd/fleet -json and the benchmark harness.
+type FleetSummary struct {
+	Sessions        int     `json:"sessions"`
+	Links           int     `json:"links"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// ConvergedAtSeconds is the earliest window start at which the
+	// fleet-wide Jain index reached 0.9, or -1 when it never did.
+	ConvergedAtSeconds float64 `json:"converged_at_seconds"`
+	EquilibriumJain    float64 `json:"equilibrium_jain"`
+	AggregateGbps      float64 `json:"aggregate_gbps"`
 }
 
 // FleetTestbed returns the shared-bottleneck environment for fleet
@@ -85,12 +110,16 @@ func FleetTestbed() testbed.Config {
 // Fleet is intentionally NOT registered in All(): it is a scale/stress
 // workload driven by cmd/fleet, not a paper figure, and adding it to
 // the registry would change reproduce output.
-func Fleet(cfg FleetConfig) (*Result, error) {
+func Fleet(cfg FleetConfig) (*Result, *FleetSummary, error) {
 	cfg = cfg.withDefaults()
+	bottle := fmt.Sprintf("one %.0f Gbps bottleneck", FleetTestbed().LinkCapacity/1e9)
+	if cfg.Links > 1 {
+		bottle = fmt.Sprintf("%d × %.0f Gbps bottlenecks", cfg.Links, FleetTestbed().LinkCapacity/1e9)
+	}
 	r := &Result{
 		ID: "fleet",
-		Title: fmt.Sprintf("Fleet contention: %d sessions (%s) on one %.0f Gbps bottleneck",
-			cfg.Sessions, strings.Join(cfg.Algorithms, "/"), FleetTestbed().LinkCapacity/1e9),
+		Title: fmt.Sprintf("Fleet contention: %d sessions (%s) on %s",
+			cfg.Sessions, strings.Join(cfg.Algorithms, "/"), bottle),
 		Header: []string{"Algorithm", "Sessions", "Mean per-session (Mbps, equilibrium)", "Jain (within algo)"},
 	}
 
@@ -101,7 +130,7 @@ func Fleet(cfg FleetConfig) (*Result, error) {
 		algo := cfg.Algorithms[i%len(cfg.Algorithms)]
 		agent, err := core.NewAgentByName(algo, cfg.MaxN, cfg.Seed+int64(i))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		id := fmt.Sprintf("s%04d-%s", i, algo)
 		ids[i] = id
@@ -112,14 +141,45 @@ func Fleet(cfg FleetConfig) (*Result, error) {
 			JoinAt:     float64(i) * cfg.Stagger,
 		}
 	}
-	tl, err := runScenario(FleetTestbed(), cfg.Seed, cfg.Duration, parts...)
-	if err != nil {
-		return nil, err
+	var tl *testbed.Timeline
+	if cfg.Links == 1 {
+		// The classic single shared bottleneck, on the exact code path
+		// fleet runs have always used.
+		var err error
+		tl, err = runScenario(FleetTestbed(), cfg.Seed, cfg.Duration, parts...)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		// Session i routes over link i mod Links; each link's sessions
+		// form an independent contention domain, so each runs as its
+		// own shard and the shards step in parallel.
+		shards := make([]testbed.ShardSpec, cfg.Links)
+		for k := range shards {
+			shards[k] = testbed.ShardSpec{
+				Key:    fmt.Sprintf("lnk%d", k),
+				Config: FleetTestbed(),
+				Seed:   cfg.Seed + int64(k),
+			}
+		}
+		for i := range parts {
+			k := i % cfg.Links
+			shards[k].Parts = append(shards[k].Parts, parts[i])
+		}
+		ss, err := testbed.NewShardSet(shards, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		ss.SetWorkers(cfg.Workers)
+		tl, err = ss.Run(cfg.Duration, 0.25)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 
 	lastJoin := float64(cfg.Sessions-1) * cfg.Stagger
 	if lastJoin >= cfg.Duration {
-		return nil, fmt.Errorf("fleet: last join %.0fs is past the %.0fs horizon", lastJoin, cfg.Duration)
+		return nil, nil, fmt.Errorf("fleet: last join %.0fs is past the %.0fs horizon", lastJoin, cfg.Duration)
 	}
 
 	// Convergence: slide a window of a tenth of the horizon from the
@@ -174,7 +234,20 @@ func Fleet(cfg FleetConfig) (*Result, error) {
 	} else {
 		r.AddNote("fleet Jain never reached 0.9 after the last join at %.0fs", lastJoin)
 	}
-	r.AddNote("equilibrium [%.0fs, %.0fs]: Jain %.3f, aggregate %.2f Gbps (link %.0f Gbps)",
-		eq0, eq1, eqJain, aggregate, FleetTestbed().LinkCapacity/1e9)
-	return r, nil
+	if cfg.Links == 1 {
+		r.AddNote("equilibrium [%.0fs, %.0fs]: Jain %.3f, aggregate %.2f Gbps (link %.0f Gbps)",
+			eq0, eq1, eqJain, aggregate, FleetTestbed().LinkCapacity/1e9)
+	} else {
+		r.AddNote("equilibrium [%.0fs, %.0fs]: Jain %.3f, aggregate %.2f Gbps (%d × %.0f Gbps links)",
+			eq0, eq1, eqJain, aggregate, cfg.Links, FleetTestbed().LinkCapacity/1e9)
+	}
+	sum := &FleetSummary{
+		Sessions:           cfg.Sessions,
+		Links:              cfg.Links,
+		DurationSeconds:    cfg.Duration,
+		ConvergedAtSeconds: converged,
+		EquilibriumJain:    eqJain,
+		AggregateGbps:      aggregate,
+	}
+	return r, sum, nil
 }

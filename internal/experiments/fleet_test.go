@@ -12,7 +12,7 @@ import (
 func TestFleetSmall(t *testing.T) {
 	cfg := FleetConfig{Sessions: 45, Duration: 300, Stagger: 0.5, Seed: 3}
 	render := func() string {
-		res, err := Fleet(cfg)
+		res, _, err := Fleet(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -103,14 +103,20 @@ func (t *Topology) Route(from, to string) (links []string, rtt float64, err erro
 		return nil, 0, nil
 	}
 	// Dijkstra over latency; topologies are small (tens of nodes), so
-	// a linear-scan priority selection is fine.
+	// a linear-scan priority selection is fine. Equal-latency candidates
+	// tie-break on node name so the chosen route is a pure function of
+	// the topology — parallel equal-latency paths must route (and
+	// therefore shard) identically on every run.
 	dist := map[string]float64{from: 0}
 	prevEdge := map[string]*edge{}
 	visited := map[string]bool{}
 	for {
 		cur, best := "", math.Inf(1)
 		for n, d := range dist {
-			if !visited[n] && d < best {
+			if visited[n] {
+				continue
+			}
+			if d < best || (d == best && (cur == "" || n < cur)) {
 				cur, best = n, d
 			}
 		}
@@ -150,6 +156,64 @@ func (t *Topology) Route(from, to string) (links []string, rtt float64, err erro
 		links[i], links[j] = links[j], links[i]
 	}
 	return links, 2 * dist[to], nil
+}
+
+// RouteVia returns the minimum-latency path from `from` to `to` that
+// traverses the named link, as edge IDs plus the path round-trip time.
+// Both orientations of the pinned link are considered; the cheaper one
+// wins, ties preferring the link's declared a→b orientation. A
+// candidate whose approach or departure legs already cross the pinned
+// link (a non-simple path) is discarded. It returns an error for
+// unknown nodes or links, or when no simple path through the link
+// exists.
+func (t *Topology) RouteVia(from, to, via string) (links []string, rtt float64, err error) {
+	e, ok := t.edges[via]
+	if !ok {
+		return nil, 0, fmt.Errorf("netsim: unknown link %q", via)
+	}
+	bestLinks, bestRTT := []string(nil), math.Inf(1)
+	for _, orient := range [2][2]string{{e.a, e.b}, {e.b, e.a}} {
+		head, tail := orient[0], orient[1]
+		l1, r1, err1 := t.Route(from, head)
+		if err1 != nil {
+			if !t.nodes[from] {
+				return nil, 0, err1
+			}
+			continue
+		}
+		l2, r2, err2 := t.Route(tail, to)
+		if err2 != nil {
+			if !t.nodes[to] {
+				return nil, 0, err2
+			}
+			continue
+		}
+		simple := true
+		for _, id := range l1 {
+			if id == via {
+				simple = false
+			}
+		}
+		for _, id := range l2 {
+			if id == via {
+				simple = false
+			}
+		}
+		if !simple {
+			continue
+		}
+		if total := r1 + 2*e.latency + r2; total < bestRTT {
+			bestRTT = total
+			bestLinks = make([]string, 0, len(l1)+1+len(l2))
+			bestLinks = append(bestLinks, l1...)
+			bestLinks = append(bestLinks, via)
+			bestLinks = append(bestLinks, l2...)
+		}
+	}
+	if bestLinks == nil {
+		return nil, 0, fmt.Errorf("netsim: no simple path from %q to %q via link %q", from, to, via)
+	}
+	return bestLinks, bestRTT, nil
 }
 
 func distOr(m map[string]float64, k string) float64 {

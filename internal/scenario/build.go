@@ -80,8 +80,16 @@ type Run struct {
 	AgentIDs []string
 	// Participants couple each agent's task, controller, and schedule.
 	Participants []testbed.Participant
-	// Mutations is the compiled schedule, sorted by time.
+	// Mutations is the compiled schedule, sorted by time, lowered onto
+	// the default src→dst route. Legacy consumers driving Config +
+	// NewEngine directly use it; sharded execution uses the per-shard
+	// schedules in Shards.
 	Mutations []testbed.Mutation
+	// Shards partitions the roster into independent contention
+	// domains, in first-appearance order. Always at least one; for
+	// documents without pinned links it is exactly one shard holding
+	// everyone, and Execute behaves as the unsharded run.
+	Shards []ShardPlan
 
 	used bool
 }
@@ -135,22 +143,49 @@ func (d *Document) Build() (*Run, error) {
 			})
 		}
 	}
+	if err := d.partition(r, d.baseConfig()); err != nil {
+		return nil, err
+	}
 	r.Mutations, err = d.compileMutations(cfg)
 	if err != nil {
 		return nil, err
 	}
+	// Per-shard schedules: same replay, lowered onto each shard's own
+	// route, growths delivered to the owning shard.
+	routes := make([][]string, len(r.Shards))
+	for k := range r.Shards {
+		routes[k] = r.Shards[k].Links
+	}
+	shardOfAgent := make(map[string]int, len(r.AgentIDs))
+	for k := range r.Shards {
+		for _, idx := range r.Shards[k].Participants {
+			shardOfAgent[r.AgentIDs[idx]] = k
+		}
+	}
+	perShard, err := d.compileMutationsFor(cfg, routes, shardOfAgent)
+	if err != nil {
+		return nil, err
+	}
+	for k := range r.Shards {
+		r.Shards[k].Mutations = perShard[k]
+	}
 	return r, nil
+}
+
+// baseConfig resolves the preset or explicit environment, before any
+// route-derived capacity/RTT is applied.
+func (d *Document) baseConfig() testbed.Config {
+	if d.Preset != "" {
+		cfg, _ := PresetConfig(d.Preset)
+		return cfg
+	}
+	return d.Environment.Config()
 }
 
 // buildConfig resolves preset/environment and applies the topology's
 // routed link capacity and RTT.
 func (d *Document) buildConfig() (testbed.Config, error) {
-	var cfg testbed.Config
-	if d.Preset != "" {
-		cfg, _ = PresetConfig(d.Preset)
-	} else {
-		cfg = d.Environment.Config()
-	}
+	cfg := d.baseConfig()
 	if d.Topology != nil {
 		_, bottleneck, rtt, err := d.routeState()
 		if err != nil {
@@ -231,18 +266,10 @@ func (d *Document) linkCapacities(cfg testbed.Config) map[string]float64 {
 	return caps
 }
 
-// compileMutations lowers the declarative schedule onto the engine's
-// single end-to-end path: every event is replayed in time order over a
-// tracked per-link capacity state, and whenever the transfer route's
-// bottleneck value changes a testbed.MutLinkCapacity horizon is
-// emitted with the new absolute capacity. Cross-traffic waves are a
-// claim/restore pair over that state; changes to links off the
-// transfer route track state but emit nothing (they cannot affect the
-// path). RTT, store, and grow mutations lower directly.
+// compileMutations lowers the declarative schedule onto the default
+// src→dst route, for legacy consumers driving Run.Config + NewEngine
+// directly. It is the single-route case of compileMutationsFor.
 func (d *Document) compileMutations(cfg testbed.Config) ([]testbed.Mutation, error) {
-	if len(d.Mutations) == 0 {
-		return nil, nil
-	}
 	route := []string{""}
 	if d.Topology != nil {
 		var err error
@@ -251,19 +278,42 @@ func (d *Document) compileMutations(cfg testbed.Config) ([]testbed.Mutation, err
 			return nil, err
 		}
 	}
-	onRoute := make(map[string]bool, len(route))
-	for _, id := range route {
-		onRoute[id] = true
+	out, err := d.compileMutationsFor(cfg, [][]string{route}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// compileMutationsFor lowers the declarative schedule onto a set of
+// routes: every event is replayed in time order over one shared
+// per-link capacity state, and whenever a route's bottleneck value
+// changes a testbed.MutLinkCapacity horizon is emitted to that route's
+// schedule with the new absolute capacity. Cross-traffic waves are a
+// claim/restore pair over the shared state; changes to links off a
+// route track state but emit nothing there (they cannot affect that
+// path). RTT and store mutations lower onto every schedule (they
+// describe the shared endpoints); grow-dataset mutations lower onto
+// the schedule shardOfAgent maps the target agent to (every schedule
+// gets index 0 when shardOfAgent is nil).
+func (d *Document) compileMutationsFor(cfg testbed.Config, routes [][]string, shardOfAgent map[string]int) ([][]testbed.Mutation, error) {
+	out := make([][]testbed.Mutation, len(routes))
+	if len(d.Mutations) == 0 {
+		return out, nil
 	}
 	caps := d.linkCapacities(cfg)
-	bottleneck := func() float64 {
+	minOf := func(k int) float64 {
 		b := math.Inf(1)
-		for _, id := range route {
+		for _, id := range routes[k] {
 			if caps[id] < b {
 				b = caps[id]
 			}
 		}
 		return b
+	}
+	cur := make([]float64, len(routes))
+	for k := range routes {
+		cur[k] = minOf(k)
 	}
 
 	// One event per point mutation, two per cross-traffic wave.
@@ -288,13 +338,18 @@ func (d *Document) compileMutations(cfg testbed.Config) ([]testbed.Mutation, err
 		return events[a].idx < events[b].idx
 	})
 
-	cur := bottleneck()
 	waveSaved := make(map[int]float64, len(events))
-	out := make([]testbed.Mutation, 0, len(events))
 	emitLink := func(at float64) {
-		if b := bottleneck(); b != cur {
-			cur = b
-			out = append(out, testbed.Mutation{At: at, Kind: testbed.MutLinkCapacity, Capacity: b})
+		for k := range routes {
+			if b := minOf(k); b != cur[k] {
+				cur[k] = b
+				out[k] = append(out[k], testbed.Mutation{At: at, Kind: testbed.MutLinkCapacity, Capacity: b})
+			}
+		}
+	}
+	emitAll := func(m testbed.Mutation) {
+		for k := range out {
+			out[k] = append(out[k], m)
 		}
 	}
 	for _, ev := range events {
@@ -318,11 +373,11 @@ func (d *Document) compileMutations(cfg testbed.Config) ([]testbed.Mutation, err
 			caps[m.Link] = have - m.Rate
 			emitLink(ev.at)
 		case KindRTT:
-			out = append(out, testbed.Mutation{At: ev.at, Kind: testbed.MutRTT, RTT: m.RTT})
+			emitAll(testbed.Mutation{At: ev.at, Kind: testbed.MutRTT, RTT: m.RTT})
 		case KindSrcStore:
-			out = append(out, testbed.Mutation{At: ev.at, Kind: testbed.MutSrcStore, Capacity: m.Capacity, PerProc: m.PerProc})
+			emitAll(testbed.Mutation{At: ev.at, Kind: testbed.MutSrcStore, Capacity: m.Capacity, PerProc: m.PerProc})
 		case KindDstStore:
-			out = append(out, testbed.Mutation{At: ev.at, Kind: testbed.MutDstStore, Capacity: m.Capacity, PerProc: m.PerProc})
+			emitAll(testbed.Mutation{At: ev.at, Kind: testbed.MutDstStore, Capacity: m.Capacity, PerProc: m.PerProc})
 		case KindGrowDataset:
 			files := make([]dataset.File, m.Grow.Count)
 			for j := range files {
@@ -331,7 +386,11 @@ func (d *Document) compileMutations(cfg testbed.Config) ([]testbed.Mutation, err
 				// or with the base "<label>-NNNNNN.dat" files.
 				files[j] = dataset.File{Name: fmt.Sprintf("%s-grow%d-%06d.dat", m.Agent, ev.idx, j), Size: m.Grow.Size}
 			}
-			out = append(out, testbed.Mutation{At: ev.at, Kind: testbed.MutGrowDataset, Task: m.Agent, Files: files})
+			k := 0
+			if shardOfAgent != nil {
+				k = shardOfAgent[m.Agent]
+			}
+			out[k] = append(out[k], testbed.Mutation{At: ev.at, Kind: testbed.MutGrowDataset, Task: m.Agent, Files: files})
 		}
 	}
 	return out, nil
@@ -376,34 +435,58 @@ func (r *Run) NewEngine() (*testbed.Engine, error) {
 type ExecOptions struct {
 	// Logf receives progress lines (joins, leaves, completions).
 	Logf func(format string, args ...any)
-	// Events receives the typed session event stream.
+	// Events receives the typed session event stream. Single-shard
+	// runs deliver events live; multi-shard runs deliver them after
+	// the run in merged (time, shard) order.
 	Events session.Sink
+	// Workers bounds how many shards step concurrently: ≤1 serial, 0
+	// the parallel harness default. Output never depends on it.
+	Workers int
 }
 
-// Execute runs the scenario end to end — engine, mutation horizons,
-// one session loop per participant — and returns the recorded
-// timeline. A Run's tasks accumulate state, so Execute refuses a
+// ShardSpecs converts the compiled shard plans into testbed shard
+// specs, resolving participant indices. Participants are stateful, so
+// the specs drive at most one ShardSet run.
+func (r *Run) ShardSpecs() []testbed.ShardSpec {
+	specs := make([]testbed.ShardSpec, len(r.Shards))
+	for k := range r.Shards {
+		sp := &r.Shards[k]
+		parts := make([]testbed.Participant, len(sp.Participants))
+		for i, idx := range sp.Participants {
+			parts[i] = r.Participants[idx]
+		}
+		specs[k] = testbed.ShardSpec{
+			Key:       sp.Key,
+			Config:    sp.Config,
+			Seed:      sp.Seed,
+			Mutations: sp.Mutations,
+			Parts:     parts,
+		}
+	}
+	return specs
+}
+
+// Execute runs the scenario end to end — one engine and session loop
+// per shard, mutation horizons scheduled per shard — and returns the
+// merged timeline. Single-shard plans (every document without pinned
+// links) run exactly as the unsharded scheduler did, with live event
+// delivery. A Run's tasks accumulate state, so Execute refuses a
 // second call; Build the document again instead.
 func (r *Run) Execute(opt ExecOptions) (*testbed.Timeline, error) {
 	if r.used {
 		return nil, fmt.Errorf("scenario: run %q already executed; Build again", r.Doc.Name)
 	}
 	r.used = true
-	eng, err := r.NewEngine()
+	ss, err := testbed.NewShardSet(r.ShardSpecs(), r.Doc.RecordSeconds)
 	if err != nil {
 		return nil, err
 	}
-	sched := testbed.NewScheduler(eng, r.Doc.RecordSeconds)
 	if opt.Logf != nil {
-		sched.SetLogf(opt.Logf)
+		ss.SetLogf(opt.Logf)
 	}
 	if opt.Events != nil {
-		sched.SetEventSink(opt.Events)
+		ss.SetEventSink(opt.Events)
 	}
-	for _, p := range r.Participants {
-		if err := sched.Add(p); err != nil {
-			return nil, err
-		}
-	}
-	return sched.Run(r.Doc.DurationSeconds, r.Doc.TickSeconds), nil
+	ss.SetWorkers(opt.Workers)
+	return ss.Run(r.Doc.DurationSeconds, r.Doc.TickSeconds)
 }

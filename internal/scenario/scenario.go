@@ -242,6 +242,12 @@ type AgentSpec struct {
 	// LeaveAt removes the agent at that time when positive (every
 	// expanded agent leaves at the same time).
 	LeaveAt float64 `json:"leave_at,omitempty"`
+	// Link pins the agent's route through the named topology link:
+	// the route becomes the minimum-latency simple path from src to
+	// dst that traverses it (netsim.RouteVia), and the agent's shard
+	// is keyed by that route. Empty means the default src→dst route.
+	// Requires a topology.
+	Link string `json:"link,omitempty"`
 	// MaxConcurrency bounds the searcher's concurrency domain.
 	// Default 64.
 	MaxConcurrency int `json:"max_concurrency,omitempty"`
@@ -469,7 +475,7 @@ func (d *Document) Validate() error {
 	if err != nil {
 		return err
 	}
-	ids, err := d.validateAgents()
+	ids, err := d.validateAgents(topoLinks)
 	if err != nil {
 		return err
 	}
@@ -555,21 +561,47 @@ func (d *Document) validateTopology() (map[string]bool, error) {
 }
 
 // maxFleet bounds the expanded roster; a backstop against typo'd
-// counts, far above the 10k-session fleet workload.
-const maxFleet = 100000
+// counts, an order of magnitude above the 100k-session sharded fleet
+// workload.
+const maxFleet = 1000000
 
-// validateAgents checks the roster and returns the expanded agent IDs.
-func (d *Document) validateAgents() (map[string]bool, error) {
+// agentRef names an agent spec in error messages: the field path plus
+// the agent's identity — its declared ID, or the first expanded ID
+// ("agent<N>") for unnamed specs, so the message always points at a
+// concrete agent. firstN is the 1-based roster number of the spec's
+// first expanded agent.
+func agentRef(i int, a *AgentSpec, firstN int) string {
+	id := a.ID
+	if id == "" {
+		id = fmt.Sprintf("agent%d", firstN)
+	}
+	return fmt.Sprintf("agents[%d] (id %q)", i, id)
+}
+
+// validateAgents checks the roster against the topology's link set and
+// returns the expanded agent IDs.
+func (d *Document) validateAgents(topoLinks map[string]bool) (map[string]bool, error) {
 	total := 0
 	ids := make(map[string]bool)
 	for i := range d.Agents {
 		a := &d.Agents[i]
+		firstN := total + 1
 		if a.Count < 1 {
 			return nil, fmt.Errorf("scenario: agent %d count %d must be ≥ 1", i, a.Count)
 		}
 		total += a.Count
 		if total > maxFleet {
 			return nil, fmt.Errorf("scenario: more than %d agents", maxFleet)
+		}
+		if a.Link != "" {
+			if topoLinks == nil {
+				return nil, fmt.Errorf("scenario: %s: link %q pinned but the document has no topology",
+					agentRef(i, a, firstN), a.Link)
+			}
+			if !topoLinks[a.Link] {
+				return nil, fmt.Errorf("scenario: %s: link %q is not defined in the topology",
+					agentRef(i, a, firstN), a.Link)
+			}
 		}
 		if !knownAlgorithm(a.Algorithm) {
 			return nil, fmt.Errorf("scenario: agent %d unknown algorithm %q", i, a.Algorithm)

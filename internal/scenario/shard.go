@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/testbed"
+)
+
+// ShardPlan is one independent contention domain of a compiled
+// scenario: the agents whose transfers route over the same link
+// sequence, the environment that route implies, and the slice of the
+// mutation schedule that touches it. Shards never contend with each
+// other, so each runs on its own engine and the set can be stepped in
+// parallel (testbed.ShardSet).
+type ShardPlan struct {
+	// Key is the route signature: the ordered link IDs joined with
+	// ">" ("" for documents without a topology). Shard identity and
+	// merge order both derive from it via first appearance in the
+	// roster.
+	Key string
+	// Links is the route's ordered link IDs.
+	Links []string
+	// Bottleneck is the link that sets the route capacity — the
+	// narrowest along the route, the first such link on ties. Empty
+	// without a topology.
+	Bottleneck string
+	// Config is the shard's environment: the document's base
+	// environment with the route's bottleneck capacity and RTT
+	// applied.
+	Config testbed.Config
+	// Seed seeds the shard engine's noise stream: Doc.Seed + shard
+	// index, so a single-shard plan matches the unsharded engine.
+	Seed int64
+	// Mutations is the shard's compiled schedule (absolute capacities
+	// against this shard's route).
+	Mutations []testbed.Mutation
+	// Participants indexes Run.Participants, in roster order.
+	Participants []int
+}
+
+// routeOf resolves one agent spec's route: the default src→dst route
+// when the spec pins no link, otherwise the minimum-latency simple
+// path through the pinned link.
+func routeOf(t *netsim.Topology, src, dst string, a *AgentSpec) (links []string, rtt float64, err error) {
+	if a.Link == "" {
+		return t.Route(src, dst)
+	}
+	return t.RouteVia(src, dst, a.Link)
+}
+
+// bottleneckOf returns the route's narrowest link (first on ties) and
+// its capacity.
+func bottleneckOf(links []string, capOf map[string]float64) (string, float64) {
+	id, cap := "", math.Inf(1)
+	for _, l := range links {
+		if capOf[l] < cap {
+			id, cap = l, capOf[l]
+		}
+	}
+	return id, cap
+}
+
+// partition groups the expanded roster into shards by route
+// signature. Documents without a topology compile to one shard holding
+// everyone. Shard order is first appearance in the roster; shard k is
+// seeded Seed+k. Two shards may share non-bottleneck links (the engine
+// models only the path bottleneck, so such sharing was never modeled),
+// but a link that is some shard's bottleneck appearing on any other
+// shard's route would be real, unmodeled contention — that partition
+// is rejected.
+func (d *Document) partition(r *Run, base testbed.Config) error {
+	if d.Topology == nil {
+		all := make([]int, len(r.Participants))
+		for i := range all {
+			all[i] = i
+		}
+		r.Shards = []ShardPlan{{
+			Key:          "",
+			Links:        []string{""},
+			Config:       r.Config,
+			Seed:         d.Seed,
+			Participants: all,
+		}}
+		return nil
+	}
+	t, src, dst := d.buildTopology()
+	capOf := make(map[string]float64)
+	for _, res := range t.Resources() {
+		capOf[res.ID] = res.Capacity
+	}
+	type routeInfo struct {
+		links []string
+		rtt   float64
+		shard int
+	}
+	byLink := make(map[string]*routeInfo) // route cache by pinned link ("" = default)
+	n := 0
+	for i := range d.Agents {
+		a := &d.Agents[i]
+		ri, ok := byLink[a.Link]
+		if !ok {
+			links, rtt, err := routeOf(t, src, dst, a)
+			if err != nil {
+				return fmt.Errorf("scenario: %s: %w", agentRef(i, a, n+1), err)
+			}
+			if len(links) == 0 {
+				return fmt.Errorf("scenario: %s: empty route from %q to %q", agentRef(i, a, n+1), src, dst)
+			}
+			ri = &routeInfo{links: links, rtt: rtt, shard: -1}
+			byLink[a.Link] = ri
+		}
+		if ri.shard < 0 {
+			// Distinct pinned links can resolve to the same route (a
+			// pin already on the default path); the signature, not the
+			// pin, defines the shard.
+			key := strings.Join(ri.links, ">")
+			found := -1
+			for k := range r.Shards {
+				if r.Shards[k].Key == key {
+					found = k
+					break
+				}
+			}
+			if found < 0 {
+				bLink, bCap := bottleneckOf(ri.links, capOf)
+				cfg := base
+				cfg.LinkCapacity = bCap
+				cfg.RTT = ri.rtt
+				if err := cfg.Validate(); err != nil {
+					return fmt.Errorf("scenario: %s: route %s: %w", agentRef(i, a, n+1), key, err)
+				}
+				found = len(r.Shards)
+				r.Shards = append(r.Shards, ShardPlan{
+					Key:        key,
+					Links:      ri.links,
+					Bottleneck: bLink,
+					Config:     cfg,
+					Seed:       d.Seed + int64(found),
+				})
+			}
+			ri.shard = found
+		}
+		for j := 0; j < a.Count; j++ {
+			r.Shards[ri.shard].Participants = append(r.Shards[ri.shard].Participants, n)
+			n++
+		}
+	}
+	// Independence check: a shard's bottleneck link on another shard's
+	// route means the shards really contend, which the per-shard
+	// engines cannot model.
+	owner := make(map[string]int, len(r.Shards))
+	for k := range r.Shards {
+		owner[r.Shards[k].Bottleneck] = k
+	}
+	for k := range r.Shards {
+		for _, l := range r.Shards[k].Links {
+			if o, ok := owner[l]; ok && o != k {
+				return fmt.Errorf("scenario: shards %q and %q share bottleneck link %q; cross-shard contention is not modeled — route them over disjoint bottlenecks",
+					r.Shards[o].Key, r.Shards[k].Key, l)
+			}
+		}
+	}
+	return nil
+}

@@ -21,34 +21,121 @@ const (
 	resLink     = "link"
 )
 
-// taskState is the engine's per-task dynamic state.
-type taskState struct {
-	task *transfer.Task
-	// rate is the smoothed aggregate rate in bits/s (ramping toward the
-	// equilibrium allocation).
-	rate float64
-	// loss is the most recent equilibrium loss estimate.
-	loss float64
-	// carry is the sub-byte remainder of rate·dt/8 not yet handed to
-	// Advance, so long transfers don't undercount one byte per tick.
-	carry float64
+// taskSoA is the engine's per-task dynamic state in struct-of-arrays
+// layout: one slot per registered task, every field a parallel slice
+// indexed by that slot. The hot loops (the fold in step and the whole
+// of fastTick) walk these arrays positionally — the same contiguous-
+// array discipline the allocator's DenseAllocation boundary follows —
+// instead of chasing per-task heap objects, which at fleet scale (10k+
+// tasks) is the difference between streaming cache lines and a pointer
+// miss per task per tick.
+type taskSoA struct {
+	task []*transfer.Task
+
+	// rate is the smoothed aggregate rate in bits/s (ramping toward
+	// the equilibrium allocation); loss the most recent equilibrium
+	// loss estimate; carry the sub-byte remainder of rate·dt/8 not yet
+	// handed to Advance, so long transfers don't undercount one byte
+	// per tick.
+	rate  []float64
+	loss  []float64
+	carry []float64
+
 	// Measurement-window accumulators.
-	windowStart   float64
-	windowBytes   float64
-	windowLossSum float64 // time-weighted loss integral
-	windowDur     float64
+	windowStart   []float64
+	windowBytes   []float64
+	windowLossSum []float64 // time-weighted loss integral
+	windowDur     []float64
 
 	// Fast-path cache, refreshed by every full Step: the per-connection
 	// allocation and the allocation inputs it was derived from. While
 	// these inputs are unchanged the per-tick update is pure arithmetic
 	// on them (see fastTick), with no demand rebuild or map traffic.
-	eqRate float64 // alloc.Rate[id], bits/s per connection
-	eqLoss float64 // alloc.Loss[id]
-	files  int     // ActiveFiles at allocation time
-	conns  int     // ActiveConnections at allocation time
-	q      int     // Setting().Pipelining at allocation time
-	gen    int     // task.Generation() at allocation time
+	eqRate []float64 // alloc.Rate[di], bits/s per connection
+	eqLoss []float64 // alloc.Loss[di]
+	files  []int32   // ActiveFiles at allocation time
+	conns  []int32   // ActiveConnections at allocation time
+	q      []int32   // Setting().Pipelining at allocation time
+	cc     []int32   // Setting().Concurrency at allocation time
+	gen    []int32   // task.Generation() at allocation time
+
+	// Positional mirrors of the task's progress counters, kept exact
+	// by folding Advance's completed-file count back in: remBytes is
+	// BytesRemaining, remFiles is RemainingFiles. fastTick derives the
+	// remaining mean file size and the post-advance ActiveFiles from
+	// these instead of calling back into the task.
+	remBytes []int64
+	remFiles []int32
 }
+
+// add appends a slot for t and returns its index.
+func (s *taskSoA) add(t *transfer.Task, now float64) int32 {
+	s.task = append(s.task, t)
+	s.rate = append(s.rate, 0)
+	s.loss = append(s.loss, 0)
+	s.carry = append(s.carry, 0)
+	s.windowStart = append(s.windowStart, now)
+	s.windowBytes = append(s.windowBytes, 0)
+	s.windowLossSum = append(s.windowLossSum, 0)
+	s.windowDur = append(s.windowDur, 0)
+	s.eqRate = append(s.eqRate, 0)
+	s.eqLoss = append(s.eqLoss, 0)
+	s.files = append(s.files, 0)
+	s.conns = append(s.conns, 0)
+	s.q = append(s.q, 0)
+	s.cc = append(s.cc, 0)
+	s.gen = append(s.gen, 0)
+	s.remBytes = append(s.remBytes, 0)
+	s.remFiles = append(s.remFiles, 0)
+	return int32(len(s.task) - 1)
+}
+
+// move copies slot j's fields into slot i (swap-remove support).
+func (s *taskSoA) move(i, j int32) {
+	s.task[i] = s.task[j]
+	s.rate[i] = s.rate[j]
+	s.loss[i] = s.loss[j]
+	s.carry[i] = s.carry[j]
+	s.windowStart[i] = s.windowStart[j]
+	s.windowBytes[i] = s.windowBytes[j]
+	s.windowLossSum[i] = s.windowLossSum[j]
+	s.windowDur[i] = s.windowDur[j]
+	s.eqRate[i] = s.eqRate[j]
+	s.eqLoss[i] = s.eqLoss[j]
+	s.files[i] = s.files[j]
+	s.conns[i] = s.conns[j]
+	s.q[i] = s.q[j]
+	s.cc[i] = s.cc[j]
+	s.gen[i] = s.gen[j]
+	s.remBytes[i] = s.remBytes[j]
+	s.remFiles[i] = s.remFiles[j]
+}
+
+// truncate drops the last slot (which must have been moved or removed).
+func (s *taskSoA) truncate() {
+	last := len(s.task) - 1
+	s.task[last] = nil // release the pointer for GC
+	s.task = s.task[:last]
+	s.rate = s.rate[:last]
+	s.loss = s.loss[:last]
+	s.carry = s.carry[:last]
+	s.windowStart = s.windowStart[:last]
+	s.windowBytes = s.windowBytes[:last]
+	s.windowLossSum = s.windowLossSum[:last]
+	s.windowDur = s.windowDur[:last]
+	s.eqRate = s.eqRate[:last]
+	s.eqLoss = s.eqLoss[:last]
+	s.files = s.files[:last]
+	s.conns = s.conns[:last]
+	s.q = s.q[:last]
+	s.cc = s.cc[:last]
+	s.gen = s.gen[:last]
+	s.remBytes = s.remBytes[:last]
+	s.remFiles = s.remFiles[:last]
+}
+
+// len returns the number of occupied slots.
+func (s *taskSoA) len() int { return len(s.task) }
 
 // demandKey is the memo key contribution of one demand. Together with
 // the contention-dependent capacities it fully determines the
@@ -62,17 +149,18 @@ type demandKey struct {
 // Engine advances a set of transfer tasks through a Config's resources
 // in simulated time. It is deterministic for a given seed.
 type Engine struct {
-	cfg   Config
-	net   *netsim.Network
-	rng   *rand.Rand
-	now   float64
-	state map[string]*taskState
-	order []string // deterministic task iteration order
+	cfg  Config
+	net  *netsim.Network
+	rng  *rand.Rand
+	now  float64
+	soa  taskSoA
+	slot map[string]int32 // task ID -> slot in soa
+	order []string        // deterministic task iteration order
 
 	// Step scratch buffers, reused every tick so the steady-state hot
 	// path performs no heap allocations.
 	path    []string
-	active  []*taskState
+	active  []int32
 	demands []netsim.Demand
 	alloc   netsim.DenseAllocation
 
@@ -96,7 +184,7 @@ type Engine struct {
 	memoGen uint64
 
 	// Event-horizon fast path (RunTicks). factive snapshots the active
-	// states the cached allocation covers; fastOK reports that their
+	// slots the cached allocation covers; fastOK reports that their
 	// cached inputs still match the engine, so ticks can be replayed by
 	// fastTick without rebuilding demands; stepChanged records whether
 	// the last tick crossed a file-count horizon (a macro-step boundary
@@ -105,7 +193,7 @@ type Engine struct {
 	exact       bool
 	fastOK      bool
 	stepChanged bool
-	factive     []*taskState
+	factive     []int32
 
 	// Timed environment mutations (see mutation.go): muts[:mutNext] is
 	// the applied prefix, muts[mutNext:] the pending schedule sorted by
@@ -159,7 +247,7 @@ func NewEngine(cfg Config, seed int64) (*Engine, error) {
 		cfg:   cfg,
 		net:   n,
 		rng:   rand.New(rand.NewSource(seed)),
-		state: make(map[string]*taskState),
+		slot:  make(map[string]int32),
 		path:  enginePath,
 		exact: defaultExact,
 	}, nil
@@ -214,25 +302,33 @@ func (e *Engine) AddTask(t *transfer.Task) error {
 	if t == nil {
 		return fmt.Errorf("testbed: nil task")
 	}
-	if _, dup := e.state[t.ID()]; dup {
+	if _, dup := e.slot[t.ID()]; dup {
 		return fmt.Errorf("testbed: duplicate task %q", t.ID())
 	}
-	e.state[t.ID()] = &taskState{task: t, windowStart: e.now}
+	e.slot[t.ID()] = e.soa.add(t, e.now)
 	e.order = append(e.order, t.ID())
 	e.fastOK = false
 	return nil
 }
 
 // RemoveTask deregisters a task (e.g. a departing competitor). Removing
-// an unknown ID is a no-op.
+// an unknown ID is a no-op. The last slot is swapped into the vacated
+// one, so the arrays stay dense; iteration order is owned by e.order,
+// which is spliced independently.
 func (e *Engine) RemoveTask(id string) {
-	if _, ok := e.state[id]; !ok {
+	i, ok := e.slot[id]
+	if !ok {
 		return
 	}
-	delete(e.state, id)
-	for i, tid := range e.order {
+	delete(e.slot, id)
+	if last := int32(e.soa.len() - 1); i != last {
+		e.soa.move(i, last)
+		e.slot[e.soa.task[i].ID()] = i
+	}
+	e.soa.truncate()
+	for j, tid := range e.order {
 		if tid == id {
-			e.order = append(e.order[:i], e.order[i+1:]...)
+			e.order = append(e.order[:j], e.order[j+1:]...)
 			break
 		}
 	}
@@ -241,8 +337,8 @@ func (e *Engine) RemoveTask(id string) {
 
 // Task returns the task with the given ID, or nil.
 func (e *Engine) Task(id string) *transfer.Task {
-	if st, ok := e.state[id]; ok {
-		return st.task
+	if i, ok := e.slot[id]; ok {
+		return e.soa.task[i]
 	}
 	return nil
 }
@@ -255,38 +351,39 @@ func (e *Engine) TaskIDs() []string {
 // CurrentRate returns the task's instantaneous (smoothed) throughput in
 // bits/s, or 0 for unknown tasks.
 func (e *Engine) CurrentRate(id string) float64 {
-	if st, ok := e.state[id]; ok {
-		return st.rate
+	if i, ok := e.slot[id]; ok {
+		return e.soa.rate[i]
 	}
 	return 0
 }
 
 // CurrentLoss returns the task's latest loss estimate.
 func (e *Engine) CurrentLoss(id string) float64 {
-	if st, ok := e.state[id]; ok {
-		return st.loss
+	if i, ok := e.slot[id]; ok {
+		return e.soa.loss[i]
 	}
 	return 0
 }
 
-// AggregateRate returns the sum of all tasks' instantaneous rates.
+// AggregateRate returns the sum of all tasks' instantaneous rates,
+// accumulated in slot order so the float fold is deterministic.
 func (e *Engine) AggregateRate() float64 {
 	sum := 0.0
-	for _, st := range e.state {
-		sum += st.rate
+	for _, r := range e.soa.rate {
+		sum += r
 	}
 	return sum
 }
 
-// activeStates returns states of unfinished tasks in deterministic
+// activeSlots returns the slots of unfinished tasks in deterministic
 // order. The returned slice is an engine-owned scratch buffer valid
 // until the next call.
-func (e *Engine) activeStates() []*taskState {
+func (e *Engine) activeSlots() []int32 {
 	e.active = e.active[:0]
 	for _, id := range e.order {
-		st := e.state[id]
-		if !st.task.Done() {
-			e.active = append(e.active, st)
+		i := e.slot[id]
+		if !e.soa.task[i].Done() {
+			e.active = append(e.active, i)
 		}
 	}
 	return e.active
@@ -312,12 +409,12 @@ func (e *Engine) step(dt float64) {
 	}
 	if e.mutationDue() {
 		// Apply before demands are rebuilt so this tick already runs
-		// under the mutated environment; fastReady refuses to replay a
-		// tick with a due mutation, so batched and exact stepping both
+		// under the mutated environment; the fast path refuses to replay
+		// a tick with a due mutation, so batched and exact stepping both
 		// land here at the same tick.
 		e.applyDueMutations()
 	}
-	active := e.activeStates()
+	active := e.activeSlots()
 	if len(active) == 0 {
 		e.now += dt
 		// A drained engine has no allocation inputs left to change:
@@ -332,10 +429,11 @@ func (e *Engine) step(dt float64) {
 	// Contention-dependent capacities from the global thread and
 	// connection counts.
 	srcThreads, dstThreads, conns := 0, 0, 0
-	for _, st := range active {
-		srcThreads += st.task.ActiveFiles()
-		dstThreads += st.task.ActiveFiles()
-		conns += st.task.ActiveConnections()
+	for _, i := range active {
+		t := e.soa.task[i]
+		srcThreads += t.ActiveFiles()
+		dstThreads += t.ActiveFiles()
+		conns += t.ActiveConnections()
 	}
 	srcStoreCap := e.cfg.SrcStore.EffectiveAggregate(srcThreads)
 	dstStoreCap := e.cfg.DstStore.EffectiveAggregate(dstThreads)
@@ -349,14 +447,15 @@ func (e *Engine) step(dt float64) {
 	// One weighted demand per task: all n×p connections of a task are
 	// identical TCP flows with the same per-connection cap.
 	demands := e.demands[:0]
-	for _, st := range active {
-		set := st.task.Setting()
-		m := st.task.ActiveConnections()
+	for _, i := range active {
+		t := e.soa.task[i]
+		set := t.Setting()
+		m := t.ActiveConnections()
 		if m == 0 {
 			continue
 		}
 		demands = append(demands, netsim.Demand{
-			FlowID:    st.task.ID(),
+			FlowID:    t.ID(),
 			Resources: e.path,
 			Cap:       e.perConnCap(set),
 			RTT:       e.cfg.RTT,
@@ -378,15 +477,17 @@ func (e *Engine) step(dt float64) {
 	// Fold the per-connection allocation into per-task equilibrium
 	// rates and losses, apply pipelining efficiency and ramping, and
 	// advance the tasks. Along the way, snapshot the allocation inputs
-	// per task so subsequent ticks can be replayed by fastTick while
+	// per slot so subsequent ticks can be replayed by fastTick while
 	// nothing observable changes.
 	changed := false
 	e.factive = e.factive[:0]
+	s := &e.soa
 	di := 0 // demand index: demands were appended in active order, skipping m == 0
-	for _, st := range active {
-		set := st.task.Setting()
-		m := st.task.ActiveConnections()
-		files := st.task.ActiveFiles()
+	for _, i := range active {
+		t := s.task[i]
+		set := t.Setting()
+		m := t.ActiveConnections()
+		files := t.ActiveFiles()
 		var eqRate, loss float64
 		if m > 0 {
 			eqRate = alloc.Rate[di]
@@ -396,7 +497,7 @@ func (e *Engine) step(dt float64) {
 		eq := eqRate * float64(m)
 		if m > 0 {
 			perFileRate := eq / float64(files)
-			eff := transfer.PipelineEfficiency(st.task.RemainingMeanFileSize(), perFileRate, e.cfg.RTT, set.Pipelining)
+			eff := transfer.PipelineEfficiency(t.RemainingMeanFileSize(), perFileRate, e.cfg.RTT, set.Pipelining)
 			eq *= eff
 		}
 
@@ -405,35 +506,38 @@ func (e *Engine) step(dt float64) {
 		// faster than slow-start growth: congestion control backs off
 		// within a few RTTs.
 		tau := e.cfg.rampTau()
-		if eq < st.rate {
+		if eq < s.rate[i] {
 			tau /= 3
 		}
-		st.rate += (eq - st.rate) * (1 - math.Exp(-dt/tau))
-		if st.rate < 0 {
-			st.rate = 0
+		s.rate[i] += (eq - s.rate[i]) * (1 - math.Exp(-dt/tau))
+		if s.rate[i] < 0 {
+			s.rate[i] = 0
 		}
-		st.loss = loss
+		s.loss[i] = loss
 
-		bytes := st.rate * dt / 8
-		st.windowBytes += bytes
-		st.windowLossSum += loss * dt
-		st.windowDur += dt
-		whole := bytes + st.carry
+		bytes := s.rate[i] * dt / 8
+		s.windowBytes[i] += bytes
+		s.windowLossSum[i] += loss * dt
+		s.windowDur[i] += dt
+		whole := bytes + s.carry[i]
 		n := int64(whole)
-		st.carry = whole - float64(n)
-		st.task.Advance(n, dt)
+		s.carry[i] = whole - float64(n)
+		t.Advance(n, dt)
 
-		st.eqRate = eqRate
-		st.eqLoss = loss
-		st.files = files
-		st.conns = m
-		st.q = set.Pipelining
-		st.gen = st.task.Generation()
-		e.factive = append(e.factive, st)
-		if st.task.ActiveFiles() != files {
+		s.eqRate[i] = eqRate
+		s.eqLoss[i] = loss
+		s.files[i] = int32(files)
+		s.conns[i] = int32(m)
+		s.q[i] = int32(set.Pipelining)
+		s.cc[i] = int32(set.Concurrency)
+		s.gen[i] = int32(t.Generation())
+		s.remBytes[i] = t.BytesRemaining()
+		s.remFiles[i] = int32(t.RemainingFiles())
+		e.factive = append(e.factive, i)
+		if t.ActiveFiles() != files {
 			changed = true
-			if st.task.Done() {
-				e.drained = append(e.drained, st.task.ID())
+			if t.Done() {
+				e.drained = append(e.drained, t.ID())
 			}
 		}
 	}
@@ -445,19 +549,15 @@ func (e *Engine) step(dt float64) {
 	e.fastOK = !e.memoOff && e.memoOK && !changed
 }
 
-// fastReady reports whether the next tick can be replayed by fastTick:
-// the last full Step left a live allocation snapshot and no task has
-// been retuned behind the engine's back since (generation check — a
-// session Apply between macro-steps lands here).
-func (e *Engine) fastReady() bool {
-	if e.exact || !e.fastOK {
-		return false
-	}
-	if e.mutationDue() {
-		return false
-	}
-	for _, st := range e.factive {
-		if st.gen != st.task.Generation() {
+// gensLive reports whether every snapshotted task's generation still
+// matches the live task — no session Apply or dataset extension has
+// retuned a task behind the engine's back since the snapshot was taken.
+// RunTicks checks it once per fast-path window rather than per tick:
+// between the ticks of a single RunTicks call no external code runs,
+// so generations cannot change mid-call.
+func (e *Engine) gensLive() bool {
+	for _, i := range e.factive {
+		if e.soa.gen[i] != int32(e.soa.task[i].Generation()) {
 			return false
 		}
 	}
@@ -467,9 +567,13 @@ func (e *Engine) fastReady() bool {
 // fastTick replays one Step over the cached allocation snapshot: the
 // identical per-task arithmetic (pipelining efficiency, ramp, window
 // accumulation, byte advance) with the demand rebuild, capacity
-// recomputation, memo comparison, and allocation-map lookups skipped.
-// It reports whether the tick crossed a file-count horizon, which
-// invalidates the snapshot for the next tick.
+// recomputation, memo comparison, and allocation lookups skipped. All
+// task state it reads — remaining bytes and files, the cached
+// allocation inputs — comes positionally from the SoA arrays; the only
+// call back into the task is Advance, whose completed-file count folds
+// straight back into the mirrors. It reports whether the tick crossed
+// a file-count horizon, which invalidates the snapshot for the next
+// tick.
 func (e *Engine) fastTick(dt float64) bool {
 	if len(e.factive) == 0 {
 		e.now += dt
@@ -482,35 +586,55 @@ func (e *Engine) fastTick(dt float64) bool {
 	fUp := 1 - math.Exp(-dt/tau)
 	fDown := 1 - math.Exp(-dt/(tau/3))
 	changed := false
-	for _, st := range e.factive {
-		eq := st.eqRate * float64(st.conns)
-		if st.conns > 0 {
-			perFileRate := eq / float64(st.files)
-			eff := transfer.PipelineEfficiency(st.task.RemainingMeanFileSize(), perFileRate, e.cfg.RTT, st.q)
+	s := &e.soa
+	for _, i := range e.factive {
+		conns := s.conns[i]
+		eq := s.eqRate[i] * float64(conns)
+		if conns > 0 {
+			perFileRate := eq / float64(s.files[i])
+			// Remaining mean file size from the positional mirrors:
+			// identical to Task.RemainingMeanFileSize, which divides the
+			// same int64 counters.
+			var mean float64
+			if s.remFiles[i] > 0 {
+				mean = float64(s.remBytes[i]) / float64(s.remFiles[i])
+			}
+			eff := transfer.PipelineEfficiency(mean, perFileRate, e.cfg.RTT, int(s.q[i]))
 			eq *= eff
 		}
 		f := fUp
-		if eq < st.rate {
+		if eq < s.rate[i] {
 			f = fDown
 		}
-		st.rate += (eq - st.rate) * f
-		if st.rate < 0 {
-			st.rate = 0
+		s.rate[i] += (eq - s.rate[i]) * f
+		if s.rate[i] < 0 {
+			s.rate[i] = 0
 		}
-		st.loss = st.eqLoss
+		s.loss[i] = s.eqLoss[i]
 
-		bytes := st.rate * dt / 8
-		st.windowBytes += bytes
-		st.windowLossSum += st.eqLoss * dt
-		st.windowDur += dt
-		whole := bytes + st.carry
+		bytes := s.rate[i] * dt / 8
+		s.windowBytes[i] += bytes
+		s.windowLossSum[i] += s.eqLoss[i] * dt
+		s.windowDur[i] += dt
+		whole := bytes + s.carry[i]
 		n := int64(whole)
-		st.carry = whole - float64(n)
-		st.task.Advance(n, dt)
-		if st.task.ActiveFiles() != st.files {
+		s.carry[i] = whole - float64(n)
+		if done := s.task[i].Advance(n, dt); done > 0 {
+			s.remFiles[i] -= int32(done)
+		}
+		if n >= s.remBytes[i] {
+			s.remBytes[i] = 0
+		} else {
+			s.remBytes[i] -= n
+		}
+		af := s.remFiles[i]
+		if s.cc[i] < af {
+			af = s.cc[i]
+		}
+		if af != s.files[i] {
 			changed = true
-			if st.task.Done() {
-				e.drained = append(e.drained, st.task.ID())
+			if af == 0 { // min(cc, remaining) == 0 ⇔ the task drained
+				e.drained = append(e.drained, s.task[i].ID())
 			}
 		}
 	}
@@ -538,8 +662,13 @@ func (e *Engine) RunTicks(k int, dt float64) int {
 	}
 	e.drained = e.drained[:0]
 	consumed := 0
+	// Generations are validated once per fast-path window: a full step
+	// re-snapshots them, and nothing can retune a task between the
+	// ticks of one RunTicks call.
+	gensOK := false
 	for consumed < k {
-		if e.fastReady() {
+		if !e.exact && e.fastOK && !e.mutationDue() && (gensOK || e.gensLive()) {
+			gensOK = true
 			if e.fastTick(dt) {
 				return consumed + 1
 			}
@@ -547,6 +676,7 @@ func (e *Engine) RunTicks(k int, dt float64) int {
 			continue
 		}
 		e.step(dt)
+		gensOK = true
 		consumed++
 		if e.stepChanged {
 			return consumed
@@ -589,19 +719,20 @@ func (e *Engine) StepUntil(t, dt float64) {
 func (e *Engine) NextEvent() float64 {
 	h := e.NextMutation()
 	for _, id := range e.order {
-		st := e.state[id]
-		if st.task.Done() {
+		i := e.slot[id]
+		t := e.soa.task[i]
+		if t.Done() {
 			continue
 		}
-		bound := st.rate
-		if eq := st.eqRate * float64(st.conns); eq > bound {
+		bound := e.soa.rate[i]
+		if eq := e.soa.eqRate[i] * float64(e.soa.conns[i]); eq > bound {
 			bound = eq
 		}
 		if bound <= 0 {
 			continue
 		}
-		if t := e.now + float64(st.task.HorizonBytes())*8/bound; t < h {
-			h = t
+		if at := e.now + float64(t.HorizonBytes())*8/bound; at < h {
+			h = at
 		}
 	}
 	return h
@@ -670,11 +801,11 @@ func (e *Engine) streamCap() float64 {
 // BeginWindow resets the task's measurement window. Unknown IDs are a
 // no-op.
 func (e *Engine) BeginWindow(id string) {
-	if st, ok := e.state[id]; ok {
-		st.windowStart = e.now
-		st.windowBytes = 0
-		st.windowLossSum = 0
-		st.windowDur = 0
+	if i, ok := e.slot[id]; ok {
+		e.soa.windowStart[i] = e.now
+		e.soa.windowBytes[i] = 0
+		e.soa.windowLossSum[i] = 0
+		e.soa.windowDur[i] = 0
 	}
 }
 
@@ -682,14 +813,14 @@ func (e *Engine) BeginWindow(id string) {
 // observed sample with measurement noise applied, then begins a new
 // window. It returns an error for unknown tasks or empty windows.
 func (e *Engine) TakeSample(id string) (transfer.Sample, error) {
-	st, ok := e.state[id]
+	i, ok := e.slot[id]
 	if !ok {
 		return transfer.Sample{}, fmt.Errorf("testbed: unknown task %q", id)
 	}
-	if st.windowDur <= 0 {
+	if e.soa.windowDur[i] <= 0 {
 		return transfer.Sample{}, fmt.Errorf("testbed: empty measurement window for %q", id)
 	}
-	tput := st.windowBytes * 8 / st.windowDur
+	tput := e.soa.windowBytes[i] * 8 / e.soa.windowDur[i]
 	if e.cfg.NoiseStdDev > 0 {
 		factor := 1 + e.cfg.NoiseStdDev*e.rng.NormFloat64()
 		if factor < 0.5 {
@@ -700,10 +831,10 @@ func (e *Engine) TakeSample(id string) (transfer.Sample, error) {
 		}
 		tput *= factor
 	}
-	loss := st.windowLossSum / st.windowDur
+	loss := e.soa.windowLossSum[i] / e.soa.windowDur[i]
 	s := transfer.Sample{
-		Setting:    st.task.Setting(),
-		Duration:   st.windowDur,
+		Setting:    e.soa.task[i].Setting(),
+		Duration:   e.soa.windowDur[i],
 		Throughput: tput,
 		Loss:       loss,
 		Time:       e.now,

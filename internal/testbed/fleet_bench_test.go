@@ -20,9 +20,9 @@ type fleetBench struct {
 	run interface{ step() bool }
 }
 
-func newFleetBench(b *testing.B, n int, queue bool) *fleetBench {
+func newFleetBench(b *testing.B, n int, queue bool, seed int64) *fleetBench {
 	b.Helper()
-	eng, err := NewEngine(HPCLab(), 1)
+	eng, err := NewEngine(HPCLab(), seed)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -62,13 +62,13 @@ func newFleetBench(b *testing.B, n int, queue bool) *fleetBench {
 // benchFleetStep times one scheduler macro-step at fleet scale. The
 // run is rebuilt (untimed) whenever the 600 s horizon drains.
 func benchFleetStep(b *testing.B, n int, queue bool) {
-	f := newFleetBench(b, n, queue)
+	f := newFleetBench(b, n, queue, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !f.run.step() {
 			b.StopTimer()
-			f = newFleetBench(b, n, queue)
+			f = newFleetBench(b, n, queue, 1)
 			b.StartTimer()
 			f.run.step()
 		}
@@ -91,6 +91,38 @@ func BenchmarkFleetStep10kScan(b *testing.B) { benchFleetStep(b, 10000, false) }
 func BenchmarkFleetStep1k(b *testing.B) { benchFleetStep(b, 1000, true) }
 
 func BenchmarkFleetStep1kScan(b *testing.B) { benchFleetStep(b, 1000, false) }
+
+// BenchmarkFleetStep100k is the sharded-fleet number: one macro-step of
+// every shard of a 100k-session fleet partitioned into 10 independent
+// 10k-session bottleneck domains — the 10 × 10 Gbps multi-bottleneck
+// deliverable. Each shard runs its own engine and event-queue run
+// (distinct seeds, as ShardSet builds them); one op advances the whole
+// fleet by one macro-step per shard. Steady state must stay at
+// 0 allocs/op — the shard layer adds no per-step heap traffic over the
+// single-engine loop.
+func BenchmarkFleetStep100k(b *testing.B) {
+	const shards, perShard = 10, 10000
+	build := func() []*fleetBench {
+		fs := make([]*fleetBench, shards)
+		for s := range fs {
+			fs[s] = newFleetBench(b, perShard, true, int64(1+s))
+		}
+		return fs
+	}
+	fs := build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fs {
+			if !f.run.step() {
+				b.StopTimer()
+				fs = build()
+				b.StartTimer()
+				break
+			}
+		}
+	}
+}
 
 // BenchmarkFleetEngine10k is the floor under both scheduler paths: the
 // bare engine advancing the same 10k tasks one tick per op, no

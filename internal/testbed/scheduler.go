@@ -406,17 +406,25 @@ func (s *Scheduler) batchTicks(now, until, tick, nextRecord float64) int {
 // logSink translates lifecycle events into the legacy progress-log
 // lines, or nil when no logger is installed.
 func (s *Scheduler) logSink() session.Sink {
-	if s.verbose == nil {
+	return logEventSink(s.verbose)
+}
+
+// logEventSink renders lifecycle events through verbose as the
+// progress-log lines, or nil when verbose is nil. Shared between the
+// scheduler's live logger and the shard merger's post-run replay so
+// sharded and unsharded runs print identical lines.
+func logEventSink(verbose func(format string, args ...any)) session.Sink {
+	if verbose == nil {
 		return nil
 	}
 	return func(e session.Event) {
 		switch e.Kind {
 		case session.Join:
-			s.verbose("t=%.0fs: %s joins (%s)", e.Time, e.Session, e.Setting)
+			verbose("t=%.0fs: %s joins (%s)", e.Time, e.Session, e.Setting)
 		case session.Leave:
-			s.verbose("t=%.0fs: %s leaves", e.Time, e.Session)
+			verbose("t=%.0fs: %s leaves", e.Time, e.Session)
 		case session.Finish:
-			s.verbose("t=%.0fs: %s finished", e.Time, e.Session)
+			verbose("t=%.0fs: %s finished", e.Time, e.Session)
 		}
 	}
 }

@@ -223,6 +223,15 @@ func (t *Task) ActiveFiles() int {
 // connections currently open.
 func (t *Task) ActiveConnections() int { return t.ActiveFiles() * t.setting.Parallelism }
 
+// RemainingFiles returns the number of files not yet fully sent.
+func (t *Task) RemainingFiles() int {
+	remaining := len(t.ds.Files) - t.nextFile
+	if remaining < 0 {
+		remaining = 0
+	}
+	return remaining
+}
+
 // RemainingMeanFileSize returns the mean size in bytes of files not yet
 // completed, used by the pipelining efficiency model. Returns 0 when
 // the task is done. Computed in O(1) from the byte counters — this runs
@@ -238,27 +247,33 @@ func (t *Task) RemainingMeanFileSize() float64 {
 
 // Advance records that the task moved `bytes` bytes during `dt` seconds
 // of transfer, completing files in order. Partial progress within a
-// file is retained. It panics on negative arguments (a simulation bug).
-func (t *Task) Advance(bytes int64, dt float64) {
+// file is retained. It returns the number of files completed by this
+// call, so engines mirroring task state positionally (struct-of-arrays
+// layouts) can update their remaining-file counters without re-reading
+// the task. It panics on negative arguments (a simulation bug).
+func (t *Task) Advance(bytes int64, dt float64) int {
 	if bytes < 0 || dt < 0 {
 		panic(fmt.Sprintf("transfer: Advance(%d, %v) negative argument", bytes, dt))
 	}
 	if t.Done() {
-		return
+		return 0
 	}
 	t.elapsed += dt
+	completed := 0
 	for bytes > 0 && t.nextFile < len(t.ds.Files) {
 		need := t.ds.Files[t.nextFile].Size - t.fileSent
 		if bytes < need {
 			t.fileSent += bytes
 			t.bytesDone += bytes
-			return
+			return completed
 		}
 		bytes -= need
 		t.bytesDone += need
 		t.fileSent = 0
 		t.nextFile++
+		completed++
 	}
+	return completed
 }
 
 // HorizonBytes returns how many more bytes must complete before the
