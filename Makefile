@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-raw reproduce verify
+.PHONY: build test race vet bench bench-raw memsmoke reproduce verify
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,15 @@ bench:
 # Raw hot-path benchmarks with allocation counts, for interactive use.
 bench-raw:
 	$(GO) test -run xxx -bench . -benchtime 1s ./internal/netsim/ ./internal/testbed/ ./internal/bayesopt/
+
+# Memory-regression smoke (run in CI): a 10k-session fleet in
+# streaming-aggregate mode must finish inside the checked-in peak-heap
+# budget. Measured ~117 MB (≈11.7 kB/session); the 256 MB budget is
+# ~2x headroom, so only a real per-session memory regression trips it.
+FLEET_HEAP_BUDGET ?= 268435456
+
+memsmoke:
+	$(GO) run ./cmd/fleet -n 10000 -duration 120 -stagger 0.001 -record aggregate -seed 1 -maxheap $(FLEET_HEAP_BUDGET)
 
 reproduce:
 	$(GO) run ./cmd/reproduce

@@ -10,15 +10,29 @@
 // Usage:
 //
 //	fleet [-n N] [-duration S] [-stagger S] [-maxn N] [-seed N] [-algos hc,gd,bo]
-//	      [-links K] [-shards W] [-json] [-exact] [-scan]
-//	      [-cpuprofile FILE] [-memprofile FILE]
+//	      [-links K] [-shards W] [-record auto|full|aggregate|off]
+//	      [-memo auto|on|off] [-nonoise] [-seedgroups G] [-maxheap BYTES]
+//	      [-json] [-exact] [-scan] [-cpuprofile FILE] [-memprofile FILE]
 //	fleet -scenario FILE.json [-seed N] [-shards W] [-exact] [-scan]
 //
 // With -links K > 1 the fleet spreads over K independent bottleneck
 // links (session i routes over link i mod K); each link's sessions run
 // as their own shard and -shards bounds how many shards step
 // concurrently. -json replaces the report with a one-line summary
-// (Jain, aggregate Gbps, wall seconds, sessions/sec).
+// (Jain, aggregate Gbps, wall seconds, sessions/sec, peak heap,
+// decision-memo hit rates, record mode).
+//
+// -record selects recording fidelity (see experiments.FleetConfig):
+// "auto" (default) uses full per-session timelines below 50 000
+// sessions and the constant-space streaming aggregates at or above —
+// both produce bitwise-identical metrics. -memo enables cross-session
+// decision memoization; "auto" turns it on exactly when -nonoise is
+// set, since caching only hits when identical sessions exist (and the
+// per-decision store traffic is wasted otherwise). -nonoise zeroes
+// measurement noise and -seedgroups G collapses the fleet to G
+// distinct agent populations — together they create the exact twins
+// memoization collapses. -maxheap, when positive, exits with status 1
+// if the post-run peak heap exceeds the budget (the CI memory smoke).
 //
 // With -scenario, the flag-built fleet is replaced by a declarative
 // scenario document (see internal/scenario) and the run reports
@@ -59,6 +73,11 @@ func run() int {
 	algos := flag.String("algos", "hc,gd,bo", "comma-separated algorithm mix cycled across sessions")
 	links := flag.Int("links", 1, "number of independent bottleneck links; session i routes over link i mod links, each link runs as its own shard")
 	shards := flag.Int("shards", 0, "max shards stepped concurrently (0 = harness default, 1 = serial); never affects output")
+	record := flag.String("record", "auto", "recording fidelity: auto, full, aggregate, or off (auto = aggregate at ≥50000 sessions, full below); metrics are bitwise identical between full and aggregate")
+	memo := flag.String("memo", "auto", "cross-session decision memoization: auto, on, or off (auto = on iff -nonoise); never affects output")
+	nonoise := flag.Bool("nonoise", false, "zero the environment's measurement noise, making same-seed sessions exact twins")
+	seedgroups := flag.Int("seedgroups", 0, "collapse agent seeds to seed+i%G, creating G distinct populations of identical sessions (0 = all distinct)")
+	maxheap := flag.Uint64("maxheap", 0, "exit 1 if post-run peak heap (runtime HeapSys) exceeds this many bytes (0 = no budget)")
 	jsonOut := flag.Bool("json", false, "emit a one-line machine-readable JSON summary instead of the report")
 	scenarioPath := flag.String("scenario", "", "run a declarative scenario document (JSON) through the dynamic-fleet report instead of the flag-built fleet")
 	exact := flag.Bool("exact", false, "simulate on the exact always-tick path instead of event-horizon stepping")
@@ -132,6 +151,31 @@ func run() int {
 			list = append(list, a)
 		}
 	}
+	recordMode := *record
+	if recordMode == "auto" {
+		// Full fidelity is O(sessions × samples) memory; past this
+		// point the streaming aggregates carry the run. Metrics are
+		// bitwise identical either way.
+		if *n >= 50000 {
+			recordMode = "aggregate"
+		} else {
+			recordMode = "full"
+		}
+	}
+	useMemo := false
+	switch *memo {
+	case "on":
+		useMemo = true
+	case "off":
+	case "auto":
+		// Memoization only hits when identical sessions exist, which
+		// requires noise off; on a noisy fleet every lookup misses and
+		// every BO decision stores a dead GP snapshot.
+		useMemo = *nonoise
+	default:
+		fmt.Fprintf(os.Stderr, "fleet: unknown -memo %q (want auto, on, or off)\n", *memo)
+		return 1
+	}
 	start := time.Now()
 	res, sum, err := experiments.Fleet(experiments.FleetConfig{
 		Sessions:   *n,
@@ -142,18 +186,27 @@ func run() int {
 		Algorithms: list,
 		Links:      *links,
 		Workers:    *shards,
+		RecordMode: recordMode,
+		Memo:       useMemo,
+		NoNoise:    *nonoise,
+		SeedGroups: *seedgroups,
 	})
 	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 		return 1
 	}
+	peakHeap, peakRSS := peakMemory()
 	if *jsonOut {
 		out := struct {
 			experiments.FleetSummary
-			WallSeconds    float64 `json:"wall_seconds"`
-			SessionsPerSec float64 `json:"sessions_per_sec"`
-		}{*sum, wall.Seconds(), float64(*n) / wall.Seconds()}
+			WallSeconds     float64 `json:"wall_seconds"`
+			SessionsPerSec  float64 `json:"sessions_per_sec"`
+			PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
+			PeakRSSBytes    uint64  `json:"peak_rss_bytes"`
+			BytesPerSession float64 `json:"bytes_per_session"`
+		}{*sum, wall.Seconds(), float64(*n) / wall.Seconds(),
+			peakHeap, peakRSS, float64(peakHeap) / float64(*n)}
 		enc, err := json.Marshal(out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
@@ -167,5 +220,43 @@ func run() int {
 	sessSec := float64(*n) * *duration / wall.Seconds()
 	fmt.Fprintf(os.Stderr, "fleet: %d sessions × %.0f s simulated in %.2f s wall — %.0f session-seconds/sec\n",
 		*n, *duration, wall.Seconds(), sessSec)
+	fmt.Fprintf(os.Stderr, "fleet: record %s, peak heap %.1f MB (%.0f B/session), peak RSS %.1f MB\n",
+		sum.RecordMode, float64(peakHeap)/1e6, float64(peakHeap)/float64(*n), float64(peakRSS)/1e6)
+	if useMemo {
+		fmt.Fprintf(os.Stderr, "fleet: decision memo %d/%d hits (%.1f%%), sweep memo %d/%d hits (%.1f%%)\n",
+			sum.DecisionMemoHits, sum.DecisionMemoLookups, 100*sum.DecisionMemoHitRate,
+			sum.SweepMemoHits, sum.SweepMemoLookups, 100*sum.SweepMemoHitRate)
+	}
+	if *maxheap > 0 && peakHeap > *maxheap {
+		fmt.Fprintf(os.Stderr, "fleet: peak heap %d bytes exceeds -maxheap budget %d\n", peakHeap, *maxheap)
+		return 1
+	}
 	return 0
+}
+
+// peakMemory reports the process's peak heap (runtime HeapSys — the
+// high-water mark of heap memory obtained from the OS) and peak RSS
+// (VmHWM from /proc/self/status; 0 where unavailable).
+func peakMemory() (heap, rss uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heap = ms.HeapSys
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return heap, 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			var kb uint64
+			if _, err := fmt.Sscanf(fields[1], "%d", &kb); err == nil {
+				rss = kb * 1024
+			}
+		}
+		break
+	}
+	return heap, rss
 }

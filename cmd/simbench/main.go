@@ -7,12 +7,18 @@
 // Usage:
 //
 //	simbench [-out BENCH_sim.json] [-benchtime 1s] [-seed 1]
-//	         [-skip-reproduce]
+//	         [-skip-reproduce] [-skip-fleet] [-skip-million]
 //
-// Two numbers matter: the per-benchmark ns/op and allocs/op for the
-// hot paths (engine Step, fast-path SchedulerRun vs the exact
-// always-tick SchedulerRunExact), and the wall-clock seconds of a full
-// serial `reproduce -seed N` run in both stepping modes. simbench
+// Three sets of numbers matter: the per-benchmark ns/op and allocs/op
+// for the hot paths (engine Step, fast-path SchedulerRun vs the exact
+// always-tick SchedulerRunExact), the wall-clock seconds of a full
+// serial `reproduce -seed N` run in both stepping modes, and the fleet
+// timings — 10k static, 100k sharded, a dynamic scenario, and the
+// million-session memory-diet runs (skippable with -skip-million; they
+// take tens of minutes) with peak heap, bytes/session, and decision-
+// memo hit rates parsed from fleet's -json summary. Required
+// benchmarks and fleet sizes are checked, so a rename or dropped run
+// fails loudly instead of silently thinning the artifact. simbench
 // shells out to the go toolchain, so it must run from the repo root
 // (or -chdir there).
 package main
@@ -78,6 +84,16 @@ type FleetTiming struct {
 	// second (sessions × duration / wall), the scheduler's fleet
 	// throughput metric.
 	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// The remaining fields are parsed from fleet -json output and are
+	// absent for runs that cannot emit it (the scenario document path).
+	RecordMode          string  `json:"record_mode,omitempty"`
+	PeakHeapBytes       uint64  `json:"peak_heap_bytes,omitempty"`
+	PeakRSSBytes        uint64  `json:"peak_rss_bytes,omitempty"`
+	BytesPerSession     float64 `json:"bytes_per_session,omitempty"`
+	EquilibriumJain     float64 `json:"equilibrium_jain,omitempty"`
+	AggregateGbps       float64 `json:"aggregate_gbps,omitempty"`
+	DecisionMemoHitRate float64 `json:"decision_memo_hit_rate,omitempty"`
+	SweepMemoHitRate    float64 `json:"sweep_memo_hit_rate,omitempty"`
 }
 
 // Report is the BENCH_sim.json document.
@@ -101,6 +117,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "reproduce seed")
 	skipReproduce := flag.Bool("skip-reproduce", false, "skip the end-to-end reproduce timings")
 	skipFleet := flag.Bool("skip-fleet", false, "skip the 10k-session fleet timing")
+	skipMillion := flag.Bool("skip-million", false, "skip the million-session fleet timings (tens of minutes of wall time)")
 	flag.Parse()
 
 	report := Report{
@@ -141,8 +158,11 @@ func main() {
 	}
 
 	if !*skipFleet {
-		fleets, err := timeFleet(*seed)
+		fleets, err := timeFleet(*seed, *skipMillion)
 		if err != nil {
+			fatal("%v", err)
+		}
+		if err := checkRequiredFleet(fleets, *skipMillion); err != nil {
 			fatal("%v", err)
 		}
 		report.Fleet = fleets
@@ -190,6 +210,32 @@ func checkRequired(benches []Benchmark) error {
 	}
 	if len(missing) > 0 {
 		return fmt.Errorf("required benchmarks missing from results: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// checkRequiredFleet verifies every configured fleet size produced a
+// timing. The fleet numbers are the artifact's headline — a silently
+// dropped 10k, 100k, or million-session entry would let a scaling
+// regression land unreviewed, so a missing size fails the run the same
+// way a missing benchmark does.
+func checkRequiredFleet(fleets []FleetTiming, skipMillion bool) error {
+	required := []int{10000, 100000}
+	if !skipMillion {
+		required = append(required, 1000000)
+	}
+	have := make(map[int]bool, len(fleets))
+	for _, tm := range fleets {
+		have[tm.Sessions] = true
+	}
+	var missing []string
+	for _, n := range required {
+		if !have[n] {
+			missing = append(missing, strconv.Itoa(n))
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required fleet sizes missing from timings: %s sessions", strings.Join(missing, ", "))
 	}
 	return nil
 }
@@ -275,10 +321,13 @@ func parseBenchLine(line, pkg string) (Benchmark, bool) {
 	return b, true
 }
 
-// timeFleet builds cmd/fleet and times the 10k-session contention run
-// on the event-queue scheduler, recording sessions_per_sec (simulated
-// session-seconds per wall second).
-func timeFleet(seed int64) ([]FleetTiming, error) {
+// timeFleet builds cmd/fleet and times the fleet-scale contention runs
+// on the event-queue scheduler — the static 10k workload, the sharded
+// 100k fleet, a dynamic scenario document, and (unless skipped) the
+// million-session memory-diet runs — recording sessions_per_sec
+// (simulated session-seconds per wall second) plus the memory and
+// memoization figures each run's -json summary reports.
+func timeFleet(seed int64, skipMillion bool) ([]FleetTiming, error) {
 	dir, err := os.MkdirTemp("", "simbench-fleet")
 	if err != nil {
 		return nil, err
@@ -295,9 +344,19 @@ func timeFleet(seed int64) ([]FleetTiming, error) {
 	)
 	run := func(tm FleetTiming, args []string) (FleetTiming, error) {
 		fmt.Fprintf(os.Stderr, "simbench: timing fleet %s...\n", strings.Join(args, " "))
-		cmd := exec.Command(bin, args...)
-		cmd.Stdout = nil // discard: only the wall time matters here
-		var stderr bytes.Buffer
+		// The scenario path renders a report and cannot emit the JSON
+		// summary; every flag-built run is timed with -json so the
+		// memory and memo figures land in the artifact.
+		isScenario := len(args) > 0 && args[0] == "-scenario"
+		runArgs := args
+		if !isScenario {
+			runArgs = append(append([]string{}, args...), "-json")
+		}
+		cmd := exec.Command(bin, runArgs...)
+		var stdout, stderr bytes.Buffer
+		if !isScenario {
+			cmd.Stdout = &stdout
+		}
 		cmd.Stderr = &stderr
 		start := time.Now()
 		if err := cmd.Run(); err != nil {
@@ -306,6 +365,32 @@ func timeFleet(seed int64) ([]FleetTiming, error) {
 		tm.Args = strings.Join(args, " ")
 		tm.Seconds = time.Since(start).Seconds()
 		tm.SessionsPerSec = float64(tm.Sessions) * tm.DurationSec / tm.Seconds
+		if !isScenario {
+			var sum struct {
+				RecordMode          string  `json:"record_mode"`
+				EquilibriumJain     float64 `json:"equilibrium_jain"`
+				AggregateGbps       float64 `json:"aggregate_gbps"`
+				DecisionMemoLookups uint64  `json:"decision_memo_lookups"`
+				DecisionMemoHitRate float64 `json:"decision_memo_hit_rate"`
+				SweepMemoHitRate    float64 `json:"sweep_memo_hit_rate"`
+				PeakHeapBytes       uint64  `json:"peak_heap_bytes"`
+				PeakRSSBytes        uint64  `json:"peak_rss_bytes"`
+				BytesPerSession     float64 `json:"bytes_per_session"`
+			}
+			if err := json.Unmarshal(bytes.TrimSpace(stdout.Bytes()), &sum); err != nil {
+				return tm, fmt.Errorf("fleet %s: parse -json summary: %v\n%s", strings.Join(args, " "), err, stdout.String())
+			}
+			tm.RecordMode = sum.RecordMode
+			tm.EquilibriumJain = sum.EquilibriumJain
+			tm.AggregateGbps = sum.AggregateGbps
+			tm.PeakHeapBytes = sum.PeakHeapBytes
+			tm.PeakRSSBytes = sum.PeakRSSBytes
+			tm.BytesPerSession = sum.BytesPerSession
+			if sum.DecisionMemoLookups > 0 {
+				tm.DecisionMemoHitRate = sum.DecisionMemoHitRate
+				tm.SweepMemoHitRate = sum.SweepMemoHitRate
+			}
+		}
 		return tm, nil
 	}
 
@@ -363,7 +448,51 @@ func timeFleet(seed int64) ([]FleetTiming, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append([]FleetTiming{static, dynamic}, sharded...), nil
+	fleets := append([]FleetTiming{static, dynamic}, sharded...)
+	if skipMillion {
+		return fleets, nil
+	}
+
+	// The million-session fleet, one process: 100 links, 10k sessions
+	// each, streaming-aggregate recording (the full-fidelity timelines
+	// would need tens of GB). The headline run is the default noisy
+	// fleet; the -nonoise -seedgroups pair then times the same shape
+	// with cross-session decision memoization off and on, so the memo's
+	// wall-clock win and hit rate are tracked next to the memory diet.
+	const (
+		millionSessions = 1000000
+		millionDuration = 60.0
+	)
+	million, err := run(FleetTiming{Sessions: millionSessions, DurationSec: millionDuration}, []string{
+		"-n", strconv.Itoa(millionSessions),
+		"-duration", strconv.FormatFloat(millionDuration, 'f', -1, 64),
+		"-stagger", "0.00002",
+		"-links", "100",
+		"-shards", "1",
+		"-seed", strconv.FormatInt(seed, 10),
+	})
+	if err != nil {
+		return nil, err
+	}
+	fleets = append(fleets, million)
+	for _, memo := range []string{"off", "on"} {
+		tm, err := run(FleetTiming{Sessions: millionSessions, DurationSec: millionDuration}, []string{
+			"-n", strconv.Itoa(millionSessions),
+			"-duration", strconv.FormatFloat(millionDuration, 'f', -1, 64),
+			"-stagger", "0.05",
+			"-links", "100",
+			"-shards", "1",
+			"-nonoise",
+			"-seedgroups", "50",
+			"-memo", memo,
+			"-seed", strconv.FormatInt(seed, 10),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fleets = append(fleets, tm)
+	}
+	return fleets, nil
 }
 
 // timeReproduce builds cmd/reproduce once and times a full serial run

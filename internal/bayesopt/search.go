@@ -40,6 +40,10 @@ type Search struct {
 	grid  []float64
 	means []float64
 	stds  []float64
+
+	// memo, when attached, shares the fit+sweep stage across twin
+	// searchers within a scheduling shard (see SweepMemo).
+	memo *SweepMemo
 }
 
 var _ optimizer.Search = (*Search)(nil)
@@ -47,10 +51,19 @@ var _ optimizer.Search = (*Search)(nil)
 // New returns a BO searcher over [1, maxN] with the paper's defaults
 // and a deterministic seed. It panics if maxN < 1.
 func New(maxN int, seed int64) *Search {
+	return NewWithSources(maxN, rand.NewSource(seed), rand.NewSource(seed+1))
+}
+
+// NewWithSources is New with caller-supplied random sources for the
+// sampling phase and the Hedge portfolio. The pinned experiments go
+// through New (math/rand's default source, byte-frozen outputs); fleet
+// runs pass compact fastrand sources, whose ~8-byte state is what
+// makes a million seeded searchers affordable. It panics if maxN < 1.
+func NewWithSources(maxN int, src, hedgeSrc rand.Source) *Search {
 	if maxN < 1 {
 		panic(fmt.Sprintf("bayesopt: maxN %d must be ≥ 1", maxN))
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(src)
 	// Length scale relative to the domain keeps the surrogate smooth
 	// without washing out the peak. Model selection at each refit picks
 	// among {base/2, base, base·2} by log marginal likelihood; each
@@ -72,7 +85,7 @@ func New(maxN int, seed int64) *Search {
 		InitSamples: 3,
 		gp:          cands[1],
 		cands:       cands,
-		hedge:       NewHedge(DefaultPortfolio(), 0.5, rand.New(rand.NewSource(seed+1))),
+		hedge:       NewHedge(DefaultPortfolio(), 0.5, rand.New(hedgeSrc)),
 		rng:         rng,
 	}
 }
@@ -87,17 +100,22 @@ func (s *Search) Next(obs optimizer.Observation) int {
 		// Uniform random sampling phase (uniform prior, no bias).
 		return 1 + s.rng.Intn(s.MaxN)
 	}
+	if s.memo != nil {
+		// Shared fit/sweep memo: a hit restores the complete post-fit
+		// state (factors, alphas, winner, posterior sweep) captured
+		// from a twin searcher, bitwise equal to running the fit below.
+		// The portfolio draw stays local either way.
+		s.ensureSweepBuffers()
+		if s.memo.fetch(s) {
+			return s.hedge.ProposeSweep(s.gp, 1, s.bestY(), s.means, s.stds)
+		}
+	}
 	if err := s.fitWithModelSelection(); err != nil {
 		// Degenerate window (should not happen with noise+jitter):
 		// fall back to random exploration rather than halting.
 		return 1 + s.rng.Intn(s.MaxN)
 	}
-	best := math.Inf(-1)
-	for _, y := range s.ys {
-		if y > best {
-			best = y
-		}
-	}
+	best := s.bestY()
 	// Standardised "best" consistent with Score inputs: the posterior
 	// sweep is in original units, so pass best in original units too.
 	// One batched PredictInto over the whole grid replaces MaxN scalar
@@ -105,7 +123,22 @@ func (s *Search) Next(obs optimizer.Observation) int {
 	// this single (mean, std) sweep.
 	s.ensureSweepBuffers()
 	s.gp.PredictInto(s.grid, s.means, s.stds)
+	if s.memo != nil {
+		s.memo.store(s)
+	}
 	return s.hedge.ProposeSweep(s.gp, 1, best, s.means, s.stds)
+}
+
+// bestY returns the best utility in the current window (original
+// units), the incumbent the acquisition functions improve upon.
+func (s *Search) bestY() float64 {
+	best := math.Inf(-1)
+	for _, y := range s.ys {
+		if y > best {
+			best = y
+		}
+	}
+	return best
 }
 
 // ensureSweepBuffers sizes the candidate grid and sweep buffers to the

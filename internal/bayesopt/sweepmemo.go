@@ -1,0 +1,301 @@
+package bayesopt
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// SweepMemo caches the BO decision path's expensive middle — the
+// three-candidate GP refit plus the batched posterior sweep — across
+// searchers that have reached identical states. Staggered fleet
+// sessions running BO with the same seed and bounds walk identical
+// state trajectories once measurement noise is off; each epoch's fit
+// is then computed once per shard and replayed for every twin.
+//
+// Unlike the hc/gd decision memo, the key cannot be the observation
+// window alone: the GP's Cholesky factor is updated incrementally as
+// the window slides, and the slide path (DropFirst's rank-1 rotation)
+// is not bitwise identical to refactorisation — the factor depends on
+// the fit *history*, not just the current window. The memo therefore
+// keys on the complete pre-fit state (window + every candidate's
+// factor, fit flags and hyperparameters, compared bitwise) and a hit
+// restores the complete post-fit state (factors, alphas, standardised
+// targets, model-selection winner, posterior sweep). Replay is
+// consequently indistinguishable from running the fit: future
+// incremental updates start from bit-identical factors.
+//
+// The acquisition portfolio (Hedge) and its rng draw stay local to
+// each searcher — only the state-pure fit/sweep stage is shared. A
+// memo must only be shared by searchers stepped from one goroutine
+// (one memo per fleet shard); it performs no locking.
+type SweepMemo struct {
+	entries []sweepEntry
+	index   map[uint64][]int32
+	limit   int
+
+	hits    uint64
+	lookups uint64
+
+	// staged holds the pre-fit key captured on a miss, committed by
+	// store once the live fit succeeds.
+	staged     sweepKey
+	stagedHash uint64
+	hasStaged  bool
+}
+
+// sweepKey is the complete pre-fit state: the observation window, the
+// domain bound, and each length-scale candidate's factor state.
+type sweepKey struct {
+	maxN  int32
+	xs    []float64
+	ys    []float64
+	cands [3]candKey
+}
+
+type candKey struct {
+	hyper    [3]float64 // LengthScale, SignalVar, NoiseVar
+	fitHyper [3]float64
+	fitted   bool
+	xs       []float64
+	chol     *linalg.Chol
+}
+
+// sweepEntry adds the post-fit state. Only fully successful fits are
+// stored (all three candidates fitted on the current window), so the
+// post-state is compact: every candidate's xs equals the window,
+// fitHyper equals its hyper, and the standardised targets are shared.
+type sweepEntry struct {
+	key    sweepKey
+	chol   [3]*linalg.Chol
+	alpha  [3][]float64
+	yStd   []float64
+	meanY  float64
+	stdY   float64
+	winner int32
+	means  []float64
+	stds   []float64
+}
+
+// DefaultSweepMemoEntries bounds a memo built with size ≤ 0. An entry
+// is ~14 KiB at the fleet's MaxN=32/Window=20, so the default costs at
+// most ~2 MiB per shard.
+const DefaultSweepMemoEntries = 128
+
+// NewSweepMemo returns a memo holding at most size entries
+// (DefaultSweepMemoEntries if size ≤ 0), cleared wholesale when full —
+// twin trajectories revisit states within an epoch, so a cleared memo
+// repopulates immediately.
+func NewSweepMemo(size int) *SweepMemo {
+	if size <= 0 {
+		size = DefaultSweepMemoEntries
+	}
+	return &SweepMemo{index: make(map[uint64][]int32), limit: size}
+}
+
+// Stats returns the number of cache hits and total lookups so far.
+func (m *SweepMemo) Stats() (hits, lookups uint64) { return m.hits, m.lookups }
+
+// SetSweepMemo attaches a shared fit/sweep memo (nil detaches). The
+// memo engages only for the standard three-candidate model-selection
+// portfolio; ablations with a different candidate set run unmemoized.
+func (s *Search) SetSweepMemo(m *SweepMemo) { s.memo = m }
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func mix(h, v uint64) uint64 { return (h ^ v) * fnvPrime64 }
+
+func mixFloats(h uint64, vs []float64) uint64 {
+	h = mix(h, uint64(len(vs)))
+	for _, v := range vs {
+		h = mix(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// hashState folds the live pre-fit state of s into a bucket hash.
+// Matching is decided by the exact bitwise comparison in matches; the
+// hash only routes.
+func (m *SweepMemo) hashState(s *Search) uint64 {
+	h := mix(fnvOffset64, uint64(s.MaxN))
+	h = mixFloats(h, s.xs)
+	h = mixFloats(h, s.ys)
+	for _, g := range s.cands {
+		h = mix(h, math.Float64bits(g.LengthScale))
+		h = mix(h, math.Float64bits(g.SignalVar))
+		h = mix(h, math.Float64bits(g.NoiseVar))
+		var f uint64
+		if g.fitted {
+			f = 1
+			for _, v := range g.fitHyper {
+				h = mix(h, math.Float64bits(v))
+			}
+		}
+		h = mix(h, f)
+		h = mixFloats(h, g.xs)
+		h = mixFloats(h, g.chol.Raw())
+	}
+	return h
+}
+
+func eqBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(v) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// matches reports whether the entry's pre-fit key equals s's live
+// state bitwise.
+func (e *sweepEntry) matches(s *Search) bool {
+	k := &e.key
+	if int(k.maxN) != s.MaxN || !eqBits(k.xs, s.xs) || !eqBits(k.ys, s.ys) {
+		return false
+	}
+	for i, g := range s.cands {
+		ck := &k.cands[i]
+		if ck.hyper != [3]float64{g.LengthScale, g.SignalVar, g.NoiseVar} {
+			return false
+		}
+		if ck.fitted != g.fitted {
+			return false
+		}
+		if g.fitted && ck.fitHyper != g.fitHyper {
+			return false
+		}
+		if !eqBits(ck.xs, g.xs) || !ck.chol.EqualBits(g.chol) {
+			return false
+		}
+	}
+	return true
+}
+
+// restore replays the entry's post-fit state into s: candidate
+// factors, alphas, standardised targets, the model-selection winner,
+// and the posterior sweep (into s.means/s.stds, which ensureSweepBuffers
+// has sized). Buffers are reused; nothing allocates in steady state.
+func (e *sweepEntry) restore(s *Search) {
+	hyper := [3]float64{}
+	for i, g := range s.cands {
+		g.chol.CopyFrom(e.chol[i])
+		g.xs = append(g.xs[:0], e.key.xs...)
+		g.alpha = append(g.alpha[:0], e.alpha[i]...)
+		g.yStd = append(g.yStd[:0], e.yStd...)
+		g.meanY = e.meanY
+		g.stdY = e.stdY
+		hyper[0], hyper[1], hyper[2] = g.LengthScale, g.SignalVar, g.NoiseVar
+		g.fitHyper = hyper
+		g.fitted = true
+	}
+	s.gp = s.cands[e.winner]
+	copy(s.means, e.means)
+	copy(s.stds, e.stds)
+}
+
+// fetch looks the searcher's pre-fit state up, restoring and reporting
+// true on a hit. On a miss it stages a copy of the pre-fit state so a
+// subsequent store can commit it after the live fit runs.
+func (m *SweepMemo) fetch(s *Search) bool {
+	m.hasStaged = false
+	if len(s.cands) != 3 {
+		return false
+	}
+	m.lookups++
+	h := m.hashState(s)
+	for _, idx := range m.index[h] {
+		e := &m.entries[idx]
+		if e.matches(s) {
+			e.restore(s)
+			m.hits++
+			return true
+		}
+	}
+	m.stage(s, h)
+	return false
+}
+
+// stage snapshots the pre-fit state before the live fit overwrites it.
+func (m *SweepMemo) stage(s *Search, h uint64) {
+	k := &m.staged
+	k.maxN = int32(s.MaxN)
+	k.xs = append(k.xs[:0], s.xs...)
+	k.ys = append(k.ys[:0], s.ys...)
+	for i, g := range s.cands {
+		ck := &k.cands[i]
+		ck.hyper = [3]float64{g.LengthScale, g.SignalVar, g.NoiseVar}
+		ck.fitHyper = g.fitHyper
+		ck.fitted = g.fitted
+		ck.xs = append(ck.xs[:0], g.xs...)
+		if ck.chol == nil {
+			ck.chol = linalg.NewChol(0)
+		}
+		ck.chol.CopyFrom(g.chol)
+	}
+	m.stagedHash = h
+	m.hasStaged = true
+}
+
+// store commits the staged key with s's post-fit state. It only stores
+// clean fits — every candidate fitted on the current window — so
+// restore can assume the compact all-success shape; anything else
+// (partial candidate failures) simply stays unmemoized.
+func (m *SweepMemo) store(s *Search) {
+	if !m.hasStaged {
+		return
+	}
+	m.hasStaged = false
+	for _, g := range s.cands {
+		if !g.fitted || g.fitHyper != [3]float64{g.LengthScale, g.SignalVar, g.NoiseVar} || !eqBits(g.xs, m.staged.xs) {
+			return
+		}
+	}
+	winner := int32(-1)
+	for i, g := range s.cands {
+		if s.gp == g {
+			winner = int32(i)
+		}
+	}
+	if winner < 0 {
+		return
+	}
+	if len(m.entries) >= m.limit {
+		m.entries = m.entries[:0]
+		clear(m.index)
+	}
+	var e sweepEntry
+	e.key.maxN = m.staged.maxN
+	e.key.xs = append([]float64(nil), m.staged.xs...)
+	e.key.ys = append([]float64(nil), m.staged.ys...)
+	for i := range e.key.cands {
+		sk := &m.staged.cands[i]
+		ck := &e.key.cands[i]
+		ck.hyper = sk.hyper
+		ck.fitHyper = sk.fitHyper
+		ck.fitted = sk.fitted
+		ck.xs = append([]float64(nil), sk.xs...)
+		ck.chol = linalg.NewChol(0)
+		ck.chol.CopyFrom(sk.chol)
+	}
+	for i, g := range s.cands {
+		e.chol[i] = linalg.NewChol(0)
+		e.chol[i].CopyFrom(g.chol)
+		e.alpha[i] = append([]float64(nil), g.alpha...)
+	}
+	g := s.cands[0]
+	e.yStd = append([]float64(nil), g.yStd...)
+	e.meanY = g.meanY
+	e.stdY = g.stdY
+	e.winner = winner
+	e.means = append([]float64(nil), s.means...)
+	e.stds = append([]float64(nil), s.stds...)
+	m.entries = append(m.entries, e)
+	m.index[m.stagedHash] = append(m.index[m.stagedHash], int32(len(m.entries)-1))
+}

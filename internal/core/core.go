@@ -47,7 +47,13 @@ type Agent struct {
 	// Figure 6 experiments swap in the linear-regret Eq 3).
 	utilFn UtilityFunc
 
-	history []Decision
+	history   []Decision
+	noHistory bool
+
+	// memo caches decisions across agents sharing a shard; memoSearch
+	// is the search's Memoizable facet, asserted once at attach time.
+	memo       *DecisionMemo
+	memoSearch optimizer.Memoizable
 }
 
 // UtilityFunc maps one sample's observables to a utility value:
@@ -156,8 +162,15 @@ func (a *Agent) Decide(s transfer.Sample) transfer.Setting {
 	} else {
 		u = a.params.Evaluate(s.Setting.Concurrency, s.Setting.Parallelism, s.Throughput, s.Loss)
 	}
-	next := a.search.Next(optimizer.Observation{N: s.Setting.Concurrency, Utility: u})
-	a.history = append(a.history, Decision{Sample: s, Utility: u, Next: next})
+	var next int
+	if a.memo != nil {
+		next = a.memoDecide(s.Setting.Concurrency, u)
+	} else {
+		next = a.search.Next(optimizer.Observation{N: s.Setting.Concurrency, Utility: u})
+	}
+	if !a.noHistory {
+		a.history = append(a.history, Decision{Sample: s, Utility: u, Next: next})
+	}
 	return transfer.Setting{Concurrency: next, Parallelism: a.parallelism, Pipelining: a.pipelining}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bayesopt"
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -26,7 +27,8 @@ type FleetConfig struct {
 	Stagger float64
 	// MaxN bounds each agent's concurrency search domain.
 	MaxN int
-	// Seed is the base seed; session i's agent is seeded Seed+i.
+	// Seed is the base seed; session i's agent is seeded Seed+i
+	// (Seed + i mod SeedGroups when SeedGroups > 0).
 	Seed int64
 	// Algorithms are cycled across sessions by index. Empty means
 	// the hc/gd/bo mix.
@@ -35,11 +37,42 @@ type FleetConfig struct {
 	// Session i routes over link i mod Links, and each link runs as
 	// its own shard (testbed.ShardSet) because its sessions never
 	// contend with the others'. Default 1 — the classic single
-	// shared bottleneck, executed exactly as before.
+	// shared bottleneck.
 	Links int
 	// Workers bounds how many shards step concurrently (≤1 serial,
 	// 0 the parallel harness default). Never affects output.
 	Workers int
+	// RecordMode selects the run's recording fidelity: "full" (the
+	// default) keeps per-session throughput/concurrency/loss series,
+	// "aggregate" streams recording points into constant-space
+	// per-window accumulators (the million-session memory diet), and
+	// "off" records nothing. Every reported metric is bitwise
+	// identical between full and aggregate; off skips metrics
+	// entirely.
+	RecordMode string
+	// Memo enables cross-session decision memoization: agents in the
+	// same shard share per-algorithm decision caches, so identically-
+	// seeded sessions in identical states reuse each other's search
+	// work instead of re-running it. Decisions are bitwise identical
+	// with the memo on or off; it only pays off when sessions actually
+	// coincide (NoNoise plus SeedGroups).
+	Memo bool
+	// NoNoise zeroes the environment's measurement noise, making
+	// same-seed sessions on the same link exact twins — the setting
+	// under which memoization hits.
+	NoNoise bool
+	// SeedGroups, when positive, seeds session i's agent with
+	// Seed + i mod SeedGroups instead of Seed + i, creating
+	// SeedGroups distinct agent populations whose members are
+	// identical — the fleet-scale workload memoization collapses.
+	// Join times then cycle with period lcm(Links, SeedGroups,
+	// len(Algorithms)) instead of growing without bound, so sessions
+	// with identical (link, seed, algorithm) join at the same instant:
+	// joined together on one link with equal settings, such twins
+	// receive bitwise-equal samples forever and the shared decision
+	// caches hit. Staggered twins would interleave with evolving
+	// contention and never coincide.
+	SeedGroups int
 }
 
 // withDefaults fills zero fields with the standard fleet shape:
@@ -63,6 +96,9 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	if c.Links <= 0 {
 		c.Links = 1
 	}
+	if c.RecordMode == "" {
+		c.RecordMode = testbed.RecordFull.String()
+	}
 	return c
 }
 
@@ -77,6 +113,16 @@ type FleetSummary struct {
 	ConvergedAtSeconds float64 `json:"converged_at_seconds"`
 	EquilibriumJain    float64 `json:"equilibrium_jain"`
 	AggregateGbps      float64 `json:"aggregate_gbps"`
+	// RecordMode is the recording fidelity the run used.
+	RecordMode string `json:"record_mode"`
+	// Decision/sweep memo counters aggregate across shards; rates are
+	// hits/lookups, or 0 when the memo was off (no lookups).
+	DecisionMemoHits    uint64  `json:"decision_memo_hits"`
+	DecisionMemoLookups uint64  `json:"decision_memo_lookups"`
+	DecisionMemoHitRate float64 `json:"decision_memo_hit_rate"`
+	SweepMemoHits       uint64  `json:"sweep_memo_hits"`
+	SweepMemoLookups    uint64  `json:"sweep_memo_lookups"`
+	SweepMemoHitRate    float64 `json:"sweep_memo_hit_rate"`
 }
 
 // FleetTestbed returns the shared-bottleneck environment for fleet
@@ -112,76 +158,203 @@ func FleetTestbed() testbed.Config {
 // the registry would change reproduce output.
 func Fleet(cfg FleetConfig) (*Result, *FleetSummary, error) {
 	cfg = cfg.withDefaults()
-	bottle := fmt.Sprintf("one %.0f Gbps bottleneck", FleetTestbed().LinkCapacity/1e9)
+	mode, err := testbed.ParseRecordMode(cfg.RecordMode)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := FleetTestbed()
+	if cfg.NoNoise {
+		env.NoiseStdDev = 0
+	}
+	bottle := fmt.Sprintf("one %.0f Gbps bottleneck", env.LinkCapacity/1e9)
 	if cfg.Links > 1 {
-		bottle = fmt.Sprintf("%d × %.0f Gbps bottlenecks", cfg.Links, FleetTestbed().LinkCapacity/1e9)
+		bottle = fmt.Sprintf("%d × %.0f Gbps bottlenecks", cfg.Links, env.LinkCapacity/1e9)
 	}
 	r := &Result{
 		ID: "fleet",
 		Title: fmt.Sprintf("Fleet contention: %d sessions (%s) on %s",
 			cfg.Sessions, strings.Join(cfg.Algorithms, "/"), bottle),
-		Header: []string{"Algorithm", "Sessions", "Mean per-session (Mbps, equilibrium)", "Jain (within algo)"},
+		Header: []string{"Algorithm", "Sessions", "Mean ± σ (Mbps, equilibrium)", "p50/p90/p99 (Mbps)", "Jain (within algo)"},
 	}
 
-	parts := make([]testbed.Participant, cfg.Sessions)
-	ids := make([]string, cfg.Sessions)
-	algoOf := make([]string, cfg.Sessions)
-	for i := range parts {
-		algo := cfg.Algorithms[i%len(cfg.Algorithms)]
-		agent, err := core.NewAgentByName(algo, cfg.MaxN, cfg.Seed+int64(i))
-		if err != nil {
-			return nil, nil, err
-		}
-		id := fmt.Sprintf("s%04d-%s", i, algo)
-		ids[i] = id
-		algoOf[i] = algo
-		parts[i] = testbed.Participant{
-			Task:       fleetTask(id, 2),
-			Controller: agent,
-			JoinAt:     float64(i) * cfg.Stagger,
-		}
+	// Join times: session i joins at (i mod joinPeriod)·Stagger. With
+	// all-distinct seeds the period is the whole fleet (the classic
+	// ramp); with seed groups it is the twin-class period, so exact
+	// twins join together (see SeedGroups).
+	joinPeriod := cfg.Sessions
+	if cfg.SeedGroups > 0 {
+		joinPeriod = lcm(cfg.Links, lcm(cfg.SeedGroups, len(cfg.Algorithms)))
 	}
-	var tl *testbed.Timeline
-	if cfg.Links == 1 {
-		// The classic single shared bottleneck, on the exact code path
-		// fleet runs have always used.
-		var err error
-		tl, err = runScenario(FleetTestbed(), cfg.Seed, cfg.Duration, parts...)
-		if err != nil {
-			return nil, nil, err
-		}
-	} else {
-		// Session i routes over link i mod Links; each link's sessions
-		// form an independent contention domain, so each runs as its
-		// own shard and the shards step in parallel.
-		shards := make([]testbed.ShardSpec, cfg.Links)
-		for k := range shards {
-			shards[k] = testbed.ShardSpec{
-				Key:    fmt.Sprintf("lnk%d", k),
-				Config: FleetTestbed(),
-				Seed:   cfg.Seed + int64(k),
-			}
-		}
-		for i := range parts {
-			k := i % cfg.Links
-			shards[k].Parts = append(shards[k].Parts, parts[i])
-		}
-		ss, err := testbed.NewShardSet(shards, 1)
-		if err != nil {
-			return nil, nil, err
-		}
-		ss.SetWorkers(cfg.Workers)
-		tl, err = ss.Run(cfg.Duration, 0.25)
-		if err != nil {
-			return nil, nil, err
-		}
+	lastSlot := cfg.Sessions - 1
+	if joinPeriod < cfg.Sessions {
+		lastSlot = joinPeriod - 1
 	}
-
-	lastJoin := float64(cfg.Sessions-1) * cfg.Stagger
+	lastJoin := float64(lastSlot) * cfg.Stagger
 	if lastJoin >= cfg.Duration {
 		return nil, nil, fmt.Errorf("fleet: last join %.0fs is past the %.0fs horizon", lastJoin, cfg.Duration)
 	}
 
+	// Per-shard decision caches. Sessions never migrate between shards,
+	// and each shard steps on one goroutine, so the memos need no
+	// locking; agents of the snapshot-able searchers share the shard's
+	// DecisionMemo and BO agents its SweepMemo.
+	var dms []*core.DecisionMemo
+	var sms []*bayesopt.SweepMemo
+	if cfg.Memo {
+		dms = make([]*core.DecisionMemo, cfg.Links)
+		sms = make([]*bayesopt.SweepMemo, cfg.Links)
+		for k := range dms {
+			dms[k] = core.NewDecisionMemo(0)
+			sms[k] = bayesopt.NewSweepMemo(0)
+		}
+	}
+
+	shards := make([]testbed.ShardSpec, cfg.Links)
+	for k := range shards {
+		shards[k] = testbed.ShardSpec{
+			Key:    fmt.Sprintf("lnk%d", k),
+			Config: env,
+			Seed:   cfg.Seed + int64(k),
+		}
+	}
+	ids := make([]string, cfg.Sessions)
+	algoOf := make([]string, cfg.Sessions)
+	for i := 0; i < cfg.Sessions; i++ {
+		algo := cfg.Algorithms[i%len(cfg.Algorithms)]
+		seed := cfg.Seed + int64(i)
+		if cfg.SeedGroups > 0 {
+			seed = cfg.Seed + int64(i%cfg.SeedGroups)
+		}
+		agent, err := core.NewFleetAgent(algo, cfg.MaxN, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		k := i % cfg.Links
+		if cfg.Memo {
+			if !agent.SetDecisionMemo(dms[k]) {
+				agent.SetSweepMemo(sms[k])
+			}
+		}
+		id := fmt.Sprintf("s%04d-%s", i, algo)
+		ids[i] = id
+		algoOf[i] = algo
+		shards[k].Parts = append(shards[k].Parts, testbed.Participant{
+			Task:       fleetTask(id, 2),
+			Controller: agent,
+			JoinAt:     float64(i%joinPeriod) * cfg.Stagger,
+		})
+	}
+
+	ss, err := testbed.NewShardSet(shards, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	ss.SetWorkers(cfg.Workers)
+	var rec *fleetRecorder
+	switch mode {
+	case testbed.RecordAggregate:
+		rec = newFleetRecorder(cfg.Sessions, cfg.Duration, lastJoin)
+		ss.SetRecording(mode, rec)
+	case testbed.RecordOff:
+		ss.SetRecording(mode, nil)
+	}
+	tl, err := ss.Run(cfg.Duration, 0.25)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sum := &FleetSummary{
+		Sessions:           cfg.Sessions,
+		Links:              cfg.Links,
+		DurationSeconds:    cfg.Duration,
+		ConvergedAtSeconds: -1,
+		RecordMode:         mode.String(),
+	}
+	for k := range dms {
+		h, l := dms[k].Stats()
+		sum.DecisionMemoHits += h
+		sum.DecisionMemoLookups += l
+		h, l = sms[k].Stats()
+		sum.SweepMemoHits += h
+		sum.SweepMemoLookups += l
+	}
+	if sum.DecisionMemoLookups > 0 {
+		sum.DecisionMemoHitRate = float64(sum.DecisionMemoHits) / float64(sum.DecisionMemoLookups)
+	}
+	if sum.SweepMemoLookups > 0 {
+		sum.SweepMemoHitRate = float64(sum.SweepMemoHits) / float64(sum.SweepMemoLookups)
+	}
+
+	if mode == testbed.RecordOff {
+		r.AddNote("record mode off: per-session metrics not recorded")
+		return r, sum, nil
+	}
+	var fs *fleetStats
+	if mode == testbed.RecordAggregate {
+		fs = rec.stats()
+	} else {
+		fs = fleetStatsFromTimeline(tl, cfg, ids, lastJoin)
+	}
+
+	aggregate := 0.0
+	perAlgo := map[string][]float64{}
+	for i, m := range fs.eqMeans {
+		aggregate += m
+		perAlgo[algoOf[i]] = append(perAlgo[algoOf[i]], m)
+	}
+	eqJain := stats.JainIndex(fs.eqMeans)
+	eq0, eq1 := cfg.Duration*3/4, cfg.Duration
+	window := cfg.Duration / 10
+
+	algos := make([]string, 0, len(perAlgo))
+	for a := range perAlgo {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	for _, a := range algos {
+		ms := perAlgo[a]
+		var st stats.Streaming
+		for _, m := range ms {
+			st.Add(m)
+		}
+		r.AddRow(a, fmt.Sprintf("%d", len(ms)),
+			fmt.Sprintf("%.1f ± %.1f", st.Mean()*1000, st.StdDev()*1000),
+			fmt.Sprintf("%.1f/%.1f/%.1f",
+				stats.Percentile(ms, 50)*1000, stats.Percentile(ms, 90)*1000, stats.Percentile(ms, 99)*1000),
+			fmt.Sprintf("%.3f", stats.JainIndex(ms)))
+	}
+	if fs.converged >= 0 {
+		r.AddNote("fleet Jain ≥0.9 from t=%.0fs (last join %.0fs, window %.0fs)", fs.converged, lastJoin, window)
+	} else {
+		r.AddNote("fleet Jain never reached 0.9 after the last join at %.0fs", lastJoin)
+	}
+	if cfg.Links == 1 {
+		r.AddNote("equilibrium [%.0fs, %.0fs]: Jain %.3f, aggregate %.2f Gbps (link %.0f Gbps)",
+			eq0, eq1, eqJain, aggregate, env.LinkCapacity/1e9)
+	} else {
+		r.AddNote("equilibrium [%.0fs, %.0fs]: Jain %.3f, aggregate %.2f Gbps (%d × %.0f Gbps links)",
+			eq0, eq1, eqJain, aggregate, cfg.Links, env.LinkCapacity/1e9)
+	}
+	sum.ConvergedAtSeconds = fs.converged
+	sum.EquilibriumJain = eqJain
+	sum.AggregateGbps = aggregate
+	return r, sum, nil
+}
+
+// gcd and lcm for the twin-class join period.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// fleetStatsFromTimeline computes the fleet metrics from full-fidelity
+// per-session series — the reference arithmetic the streaming
+// fleetRecorder replicates bitwise.
+func fleetStatsFromTimeline(tl *testbed.Timeline, cfg FleetConfig, ids []string, lastJoin float64) *fleetStats {
 	// Convergence: slide a window of a tenth of the horizon from the
 	// last join forward in half-window steps until the fleet-wide Jain
 	// index over per-session means reaches 0.9.
@@ -204,50 +377,8 @@ func Fleet(cfg FleetConfig) (*Result, *FleetSummary, error) {
 	// Equilibrium: final quarter of the run.
 	eq0, eq1 := cfg.Duration*3/4, cfg.Duration
 	eqMeans := make([]float64, cfg.Sessions)
-	aggregate := 0.0
-	perAlgo := map[string][]float64{}
 	for i, id := range ids {
-		m := tl.MeanThroughputGbps(id, eq0, eq1)
-		eqMeans[i] = m
-		aggregate += m
-		perAlgo[algoOf[i]] = append(perAlgo[algoOf[i]], m)
+		eqMeans[i] = tl.MeanThroughputGbps(id, eq0, eq1)
 	}
-	eqJain := stats.JainIndex(eqMeans)
-
-	algos := make([]string, 0, len(perAlgo))
-	for a := range perAlgo {
-		algos = append(algos, a)
-	}
-	sort.Strings(algos)
-	for _, a := range algos {
-		ms := perAlgo[a]
-		sum := 0.0
-		for _, m := range ms {
-			sum += m
-		}
-		r.AddRow(a, fmt.Sprintf("%d", len(ms)),
-			fmt.Sprintf("%.1f", sum/float64(len(ms))*1000),
-			fmt.Sprintf("%.3f", stats.JainIndex(ms)))
-	}
-	if converged >= 0 {
-		r.AddNote("fleet Jain ≥0.9 from t=%.0fs (last join %.0fs, window %.0fs)", converged, lastJoin, window)
-	} else {
-		r.AddNote("fleet Jain never reached 0.9 after the last join at %.0fs", lastJoin)
-	}
-	if cfg.Links == 1 {
-		r.AddNote("equilibrium [%.0fs, %.0fs]: Jain %.3f, aggregate %.2f Gbps (link %.0f Gbps)",
-			eq0, eq1, eqJain, aggregate, FleetTestbed().LinkCapacity/1e9)
-	} else {
-		r.AddNote("equilibrium [%.0fs, %.0fs]: Jain %.3f, aggregate %.2f Gbps (%d × %.0f Gbps links)",
-			eq0, eq1, eqJain, aggregate, cfg.Links, FleetTestbed().LinkCapacity/1e9)
-	}
-	sum := &FleetSummary{
-		Sessions:           cfg.Sessions,
-		Links:              cfg.Links,
-		DurationSeconds:    cfg.Duration,
-		ConvergedAtSeconds: converged,
-		EquilibriumJain:    eqJain,
-		AggregateGbps:      aggregate,
-	}
-	return r, sum, nil
+	return &fleetStats{converged: converged, eqMeans: eqMeans}
 }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// fleetOut renders a fleet run to the exact string cmd/fleet would
+// print, plus its summary.
+func fleetOut(t *testing.T, cfg FleetConfig) (string, *FleetSummary) {
+	t.Helper()
+	res, sum, err := Fleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.String(), sum
+}
+
+// TestFleetAggregateMatchesFull pins the streaming-aggregate memory
+// diet's transparency: a fleet run in RecordMode "aggregate" must
+// produce byte-identical report output — convergence time, equilibrium
+// Jain, aggregate throughput, per-algorithm rows — to the same run in
+// "full", whose metrics are recomputed from complete per-session
+// series. Covered single- and multi-link, since each exercises a
+// different recording path (plain scheduler vs sharded workers).
+func TestFleetAggregateMatchesFull(t *testing.T) {
+	for _, links := range []int{1, 4} {
+		cfg := FleetConfig{Sessions: 60, Duration: 300, Stagger: 0.5, Seed: 3, Links: links}
+		full, fullSum := fleetOut(t, cfg)
+		cfg.RecordMode = "aggregate"
+		agg, aggSum := fleetOut(t, cfg)
+		if full != agg {
+			t.Errorf("links=%d: aggregate-mode output differs from full:\n--- full ---\n%s\n--- aggregate ---\n%s", links, full, agg)
+		}
+		if fullSum.ConvergedAtSeconds != aggSum.ConvergedAtSeconds ||
+			fullSum.EquilibriumJain != aggSum.EquilibriumJain ||
+			fullSum.AggregateGbps != aggSum.AggregateGbps {
+			t.Errorf("links=%d: summaries differ: full %+v, aggregate %+v", links, fullSum, aggSum)
+		}
+	}
+}
+
+// TestFleetMemoTransparent pins cross-session decision memoization's
+// transparency: with measurement noise off and the fleet collapsed
+// into seed groups (so twin sessions actually exist), the rendered
+// report must be byte-identical with the memo on and off, while the
+// memoized run reports a substantial hit rate — the cached decisions
+// are reused, not merely stored.
+func TestFleetMemoTransparent(t *testing.T) {
+	base := FleetConfig{
+		Sessions: 60, Duration: 300, Stagger: 0.05, Seed: 3,
+		Links: 4, NoNoise: true, SeedGroups: 4, RecordMode: "aggregate",
+	}
+	plain, plainSum := fleetOut(t, base)
+	memo := base
+	memo.Memo = true
+	warm, warmSum := fleetOut(t, memo)
+	if plain != warm {
+		t.Errorf("memoized output differs from unmemoized:\n--- memo off ---\n%s\n--- memo on ---\n%s", plain, warm)
+	}
+	if plainSum.DecisionMemoLookups != 0 || plainSum.SweepMemoLookups != 0 {
+		t.Errorf("memo-off run performed lookups: %+v", plainSum)
+	}
+	if warmSum.DecisionMemoLookups == 0 || warmSum.SweepMemoLookups == 0 {
+		t.Fatalf("memo-on run performed no lookups: %+v", warmSum)
+	}
+	// With 4 links × 4 seed groups the fleet is 16-way redundant per
+	// (link, seed, algo); most decisions should be cache hits.
+	if warmSum.DecisionMemoHitRate < 0.5 {
+		t.Errorf("decision memo hit rate %.3f, want ≥ 0.5 (%d/%d)",
+			warmSum.DecisionMemoHitRate, warmSum.DecisionMemoHits, warmSum.DecisionMemoLookups)
+	}
+	if warmSum.SweepMemoHitRate < 0.5 {
+		t.Errorf("sweep memo hit rate %.3f, want ≥ 0.5 (%d/%d)",
+			warmSum.SweepMemoHitRate, warmSum.SweepMemoHits, warmSum.SweepMemoLookups)
+	}
+}
+
+// TestFleetMemoTransparentNoisy pins the harder half of the memo
+// contract: even on the default noisy environment with all-distinct
+// seeds — where states essentially never repeat and the caches buy
+// nothing — the memoized run must still render byte-identically.
+func TestFleetMemoTransparentNoisy(t *testing.T) {
+	base := FleetConfig{Sessions: 45, Duration: 300, Stagger: 0.5, Seed: 3, Links: 3}
+	plain, _ := fleetOut(t, base)
+	memo := base
+	memo.Memo = true
+	warm, _ := fleetOut(t, memo)
+	if plain != warm {
+		t.Errorf("memoized output differs from unmemoized on the noisy fleet:\n--- memo off ---\n%s\n--- memo on ---\n%s", plain, warm)
+	}
+}
+
+// TestFleetRecordOff pins the off mode's contract: the run completes,
+// reports no metrics, and the summary carries the mode.
+func TestFleetRecordOff(t *testing.T) {
+	out, sum := fleetOut(t, FleetConfig{Sessions: 20, Duration: 120, Stagger: 0.5, Seed: 3, RecordMode: "off"})
+	if sum.RecordMode != "off" {
+		t.Fatalf("summary record mode = %q", sum.RecordMode)
+	}
+	if sum.ConvergedAtSeconds != -1 || sum.AggregateGbps != 0 {
+		t.Fatalf("off mode computed metrics: %+v", sum)
+	}
+	if out == "" {
+		t.Fatal("off mode rendered nothing")
+	}
+}
+
+// TestFleetRejectsBadRecordMode pins flag validation.
+func TestFleetRejectsBadRecordMode(t *testing.T) {
+	if _, _, err := Fleet(FleetConfig{Sessions: 5, Duration: 60, RecordMode: "bogus"}); err == nil {
+		t.Fatal("Fleet accepted record mode \"bogus\"")
+	}
+}

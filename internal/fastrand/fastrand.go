@@ -1,0 +1,46 @@
+// Package fastrand provides a compact deterministic rand.Source64 for
+// fleet-scale construction. math/rand's default source carries a
+// 607-word lagged-Fibonacci table (~4.9 KiB) — negligible for one
+// agent, but two sources per Bayesian-optimization searcher across a
+// million-session fleet is gigabytes of rng state alone. Source is an
+// 8-byte SplitMix64 generator: statistically strong for simulation
+// workloads, trivially seedable, and cheap to construct in bulk.
+//
+// The pinned reproduce experiments keep math/rand (their outputs are
+// byte-frozen against the paper figures); only fleet-scale constructors
+// (core.NewFleetAgent) draw from this package.
+package fastrand
+
+import "math/rand"
+
+// Source is a SplitMix64 pseudo-random source. It implements
+// rand.Source64, so rand.New(fastrand.New(seed)) is a drop-in for
+// rand.New(rand.NewSource(seed)) with an ~600× smaller footprint (and
+// a different, unrelated stream).
+type Source struct {
+	state uint64
+}
+
+var _ rand.Source64 = (*Source)(nil)
+
+// New returns a source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{state: uint64(seed)}
+}
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 implements rand.Source64: one SplitMix64 step (Steele,
+// Lea & Flood 2014 — the golden-gamma Weyl sequence passed through a
+// variant of the MurmurHash3 finalizer).
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }

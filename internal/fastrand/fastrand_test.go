@@ -1,0 +1,70 @@
+package fastrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/1000 times", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	s := New(7)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(7)
+	if got := s.Uint64(); got != first {
+		t.Fatalf("after reseed got %d, want %d", got, first)
+	}
+}
+
+// TestRandAdapter drives the source through math/rand's façade: Intn
+// stays in range and Float64 in [0, 1), the two draws the BO searcher
+// and the Hedge portfolio make.
+func TestRandAdapter(t *testing.T) {
+	r := rand.New(New(3))
+	for i := 0; i < 10000; i++ {
+		if n := r.Intn(8); n < 0 || n >= 8 {
+			t.Fatalf("Intn(8) = %d out of range", n)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of range", f)
+		}
+	}
+}
+
+// TestRoughUniformity sanity-checks the adapter's Intn distribution —
+// fleet init phases draw uniform concurrencies from it.
+func TestRoughUniformity(t *testing.T) {
+	r := rand.New(New(11))
+	const draws, buckets = 80000, 8
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d: %d draws, want ≈%d", b, c, want)
+		}
+	}
+}

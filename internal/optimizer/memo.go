@@ -1,0 +1,134 @@
+package optimizer
+
+import "math"
+
+// Snapshot is a compact, comparable image of a searcher's complete
+// decision state. Two searchers with equal snapshots are bitwise
+// replicas: feeding both the same observation yields the same proposal
+// and equal successor snapshots. That property is what lets a fleet
+// memoize decisions across sessions (core.DecisionMemo): the snapshot
+// is the canonical observation-history signature — whatever sample
+// sequence led here, only the folded state can influence future
+// decisions.
+//
+// Snapshot is a value type usable as a map key. Kind discriminates the
+// searcher; the fixed I/F arrays hold the searcher's integer and float
+// state in a documented per-kind layout. Unused slots stay zero so
+// equal states compare equal.
+type Snapshot struct {
+	Kind  uint8
+	Flags uint8
+	I     [6]int32
+	F     [8]float64
+}
+
+// Snapshot kinds.
+const (
+	snapHillClimbing uint8 = 1
+	snapGradient     uint8 = 2
+)
+
+// Memoizable is implemented by searchers whose full decision state can
+// be captured and restored. Stochastic or unbounded-state searchers
+// (e.g. the GP-backed bayesopt.Search, whose factor state exceeds any
+// fixed-size image) do not implement it; they memoize at their own
+// layer instead.
+type Memoizable interface {
+	// MemoSnapshot captures the current decision state. ok is false
+	// when the state cannot be represented (e.g. bounds exceeding
+	// int32), in which case callers must fall back to the live path.
+	MemoSnapshot() (snap Snapshot, ok bool)
+	// RestoreMemo overwrites the decision state from a snapshot
+	// previously produced by the same searcher kind. Restoring a
+	// snapshot from a different kind is a programming error and panics.
+	RestoreMemo(snap Snapshot)
+}
+
+func fitsInt32(vs ...int) bool {
+	for _, v := range vs {
+		if v > math.MaxInt32 || v < math.MinInt32 {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoSnapshot implements Memoizable.
+func (h *HillClimbing) MemoSnapshot() (Snapshot, bool) {
+	if !fitsInt32(h.MaxN, h.cur, h.dir) {
+		return Snapshot{}, false
+	}
+	s := Snapshot{Kind: snapHillClimbing}
+	if h.started {
+		s.Flags |= 1
+	}
+	s.I[0] = int32(h.MaxN)
+	s.I[1] = int32(h.cur)
+	s.I[2] = int32(h.dir)
+	s.F[0] = h.Threshold
+	s.F[1] = h.prevU
+	return s, true
+}
+
+// RestoreMemo implements Memoizable.
+func (h *HillClimbing) RestoreMemo(s Snapshot) {
+	if s.Kind != snapHillClimbing {
+		panic("optimizer: HillClimbing.RestoreMemo: wrong snapshot kind")
+	}
+	h.started = s.Flags&1 != 0
+	h.MaxN = int(s.I[0])
+	h.cur = int(s.I[1])
+	h.dir = int(s.I[2])
+	h.Threshold = s.F[0]
+	h.prevU = s.F[1]
+}
+
+// MemoSnapshot implements Memoizable.
+func (g *GradientDescent) MemoSnapshot() (Snapshot, bool) {
+	if !fitsInt32(g.MaxN, g.Epsilon, g.center, g.lastDir, g.phase) {
+		return Snapshot{}, false
+	}
+	s := Snapshot{Kind: snapGradient}
+	if g.started {
+		s.Flags |= 1
+	}
+	if g.lowFirst {
+		s.Flags |= 2
+	}
+	if g.hasEWMA {
+		s.Flags |= 4
+	}
+	s.I[0] = int32(g.MaxN)
+	s.I[1] = int32(g.Epsilon)
+	s.I[2] = int32(g.center)
+	s.I[3] = int32(g.lastDir)
+	s.I[4] = int32(g.phase)
+	s.F[0] = g.Gain
+	s.F[1] = g.MaxStep
+	s.F[2] = g.Smoothing
+	s.F[3] = g.theta
+	s.F[4] = g.firstU
+	s.F[5] = g.relEWMA
+	return s, true
+}
+
+// RestoreMemo implements Memoizable.
+func (g *GradientDescent) RestoreMemo(s Snapshot) {
+	if s.Kind != snapGradient {
+		panic("optimizer: GradientDescent.RestoreMemo: wrong snapshot kind")
+	}
+	g.started = s.Flags&1 != 0
+	g.lowFirst = s.Flags&2 != 0
+	g.hasEWMA = s.Flags&4 != 0
+	g.MaxN = int(s.I[0])
+	g.Epsilon = int(s.I[1])
+	g.center = int(s.I[2])
+	g.lastDir = int(s.I[3])
+	g.phase = int(s.I[4])
+	g.Gain = s.F[0]
+	g.MaxStep = s.F[1]
+	g.Smoothing = s.F[2]
+	g.theta = s.F[3]
+	g.firstU = s.F[4]
+	g.relEWMA = s.F[5]
+}

@@ -1,0 +1,87 @@
+package optimizer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// driveMemoizable checks the Snapshot contract along a random
+// trajectory: at every step, restoring the snapshot into a fresh
+// searcher and feeding both the same observation must yield the same
+// proposal and equal successor snapshots.
+func driveMemoizable(t *testing.T, mk func() Search, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	live := mk()
+	lm := live.(Memoizable)
+	n := 1
+	for step := 0; step < 400; step++ {
+		snap, ok := lm.MemoSnapshot()
+		if !ok {
+			t.Fatalf("step %d: snapshot not representable", step)
+		}
+		twin := mk()
+		tm := twin.(Memoizable)
+		tm.RestoreMemo(snap)
+		if resnap, ok := tm.MemoSnapshot(); !ok || resnap != snap {
+			t.Fatalf("step %d: restore/re-snapshot mismatch: %+v vs %+v", step, resnap, snap)
+		}
+		obs := Observation{N: n, Utility: rng.NormFloat64()}
+		a, b := live.Next(obs), twin.Next(obs)
+		if a != b {
+			t.Fatalf("step %d: live proposed %d, restored twin %d", step, a, b)
+		}
+		sa, _ := lm.MemoSnapshot()
+		sb, _ := tm.MemoSnapshot()
+		if sa != sb {
+			t.Fatalf("step %d: successor snapshots diverged: %+v vs %+v", step, sa, sb)
+		}
+		n = a
+	}
+}
+
+func TestHillClimbingSnapshotRoundTrip(t *testing.T) {
+	driveMemoizable(t, func() Search { return NewHillClimbing(16) }, 1)
+}
+
+func TestGradientDescentSnapshotRoundTrip(t *testing.T) {
+	driveMemoizable(t, func() Search { return NewGradientDescent(16) }, 2)
+}
+
+func TestSnapshotKindsDistinct(t *testing.T) {
+	hs, _ := NewHillClimbing(8).MemoSnapshot()
+	gs, _ := NewGradientDescent(8).MemoSnapshot()
+	if hs.Kind == gs.Kind {
+		t.Fatalf("hill-climbing and gradient-descent share snapshot kind %d", hs.Kind)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restoring a gradient snapshot into a climber did not panic")
+		}
+	}()
+	NewHillClimbing(8).RestoreMemo(gs)
+}
+
+func TestSnapshotRejectsHugeBounds(t *testing.T) {
+	h := NewHillClimbing(8)
+	h.MaxN = 1 << 40
+	if _, ok := h.MemoSnapshot(); ok {
+		t.Fatal("snapshot accepted MaxN beyond int32")
+	}
+}
+
+// TestSnapshotDistinguishesState guards against dropped fields: two
+// searchers that have seen different histories (and would propose
+// differently) must not share a snapshot.
+func TestSnapshotDistinguishesState(t *testing.T) {
+	a, b := NewGradientDescent(16), NewGradientDescent(16)
+	a.Next(Observation{N: 2, Utility: 1.0})
+	a.Next(Observation{N: 1, Utility: 0.5})
+	b.Next(Observation{N: 2, Utility: 1.0})
+	b.Next(Observation{N: 1, Utility: 2.5})
+	sa, _ := a.MemoSnapshot()
+	sb, _ := b.MemoSnapshot()
+	if sa == sb {
+		t.Fatal("different probe utilities produced identical snapshots")
+	}
+}

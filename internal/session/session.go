@@ -108,8 +108,20 @@ type Session struct {
 // the environment's setting unchanged (the fixed-strategy baseline).
 // It returns an error for a nil environment.
 func New(env Env, dec Decider, cfg Config) (*Session, error) {
+	s := new(Session)
+	if err := Init(s, env, dec, cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Init constructs a session in place, overwriting *s entirely. It is
+// New for arena-allocated sessions: fleet-scale schedulers carve their
+// sessions out of one flat slab instead of a million individual heap
+// objects, and Init gives them New's exact validation and defaulting.
+func Init(s *Session, env Env, dec Decider, cfg Config) error {
 	if env == nil {
-		return nil, errors.New("session: nil environment")
+		return errors.New("session: nil environment")
 	}
 	if cfg.ID == "" {
 		cfg.ID = "session"
@@ -118,7 +130,8 @@ func New(env Env, dec Decider, cfg Config) (*Session, error) {
 		cfg.Interval = 3
 	}
 	win, _ := env.(WindowEnv)
-	return &Session{env: env, win: win, dec: dec, cfg: cfg}, nil
+	*s = Session{env: env, win: win, dec: dec, cfg: cfg}
+	return nil
 }
 
 // ID returns the session's event identifier.

@@ -45,24 +45,38 @@ type queueRun struct {
 	// len(parts). Completion and recording walk it instead of parts.
 	next []int32
 	prev []int32
+
+	// sessions/envs are the run's arenas: two flat slabs indexed by
+	// part, instead of two heap objects per join.
+	sessions []session.Session
+	envs     []SimEnvironment
 }
 
 func (s *Scheduler) newQueueRun(until, tick float64) *queueRun {
 	n := len(s.parts)
-	tl := &Timeline{Finished: make(map[string]float64, n)}
-	// Reserving the series maps and the heap/list storage up front
-	// keeps the steady-state orchestration loop allocation-free.
-	tl.Throughput.Reserve(n)
-	tl.Concurrency.Reserve(n)
-	tl.Loss.Reserve(n)
+	finishedHint := n
+	if s.recMode != RecordFull {
+		finishedHint = 0
+	}
+	tl := &Timeline{Finished: make(map[string]float64, finishedHint)}
+	if s.recMode == RecordFull {
+		// Reserving the series maps and the heap/list storage up front
+		// keeps the steady-state orchestration loop allocation-free.
+		// Outside full mode no series accumulate, so the maps stay empty.
+		tl.Throughput.Reserve(n)
+		tl.Concurrency.Reserve(n)
+		tl.Loss.Reserve(n)
+	}
 	r := &queueRun{
-		s:     s,
-		until: until,
-		tick:  tick,
-		exact: s.eng.Exact(),
-		tl:    tl,
-		sink:  session.MultiSink(tl.Sink(), s.logSink(), s.events),
-		hint:  int32(2 * n),
+		s:        s,
+		until:    until,
+		tick:     tick,
+		exact:    s.eng.Exact(),
+		tl:       tl,
+		sink:     s.runSink(tl),
+		hint:     int32(2 * n),
+		sessions: make([]session.Session, n),
+		envs:     make([]SimEnvironment, n),
 	}
 	// All int32 storage — heap order and positions, due/done scratch,
 	// live-list links — lives in one backing block, so a Run costs two
@@ -82,8 +96,8 @@ func (s *Scheduler) newQueueRun(until, tick float64) *queueRun {
 	r.next = ints[3*m+n : 3*m+2*n+1]
 	r.prev = ints[3*m+2*n+1:]
 	r.next[n], r.prev[n] = int32(n), int32(n)
-	for i, e := range s.parts {
-		r.hz.push(int32(2*i), e.p.JoinAt)
+	for i := range s.parts {
+		r.hz.push(int32(2*i), s.parts[i].p.JoinAt)
 	}
 	if !r.exact {
 		// The estimate starts due so the first macro-step computes it;
@@ -172,7 +186,7 @@ func (r *queueRun) step() bool {
 				continue
 			}
 			last = i
-			e := s.parts[i]
+			e := &s.parts[i]
 			if e.sess != nil && !e.sess.Finished() && e.p.Task.Done() {
 				eng.RemoveTask(e.p.Task.ID())
 				e.sess.Finish(end)
@@ -184,13 +198,22 @@ func (r *queueRun) step() bool {
 		r.done = r.done[:0]
 	}
 
-	// Recording.
+	// Recording. The boundary advances in every mode — it bounds the
+	// macro-step sizing — only what gets written differs.
 	if eng.Now() >= r.nextRecord {
 		t := eng.Now()
 		sen := int32(len(s.parts))
-		for i := r.next[sen]; i != sen; i = r.next[i] {
-			id := s.parts[i].p.Task.ID()
-			r.tl.Throughput.Append(id, t, eng.CurrentRate(id)/1e9)
+		switch s.recMode {
+		case RecordFull:
+			for i := r.next[sen]; i != sen; i = r.next[i] {
+				id := s.parts[i].p.Task.ID()
+				r.tl.Throughput.Append(id, t, eng.CurrentRate(id)/1e9)
+			}
+		case RecordAggregate:
+			for i := r.next[sen]; i != sen; i = r.next[i] {
+				e := &s.parts[i]
+				s.recorder.Record(e.rec, t, eng.CurrentRate(e.p.Task.ID())/1e9)
+			}
 		}
 		r.nextRecord = t + s.record
 	}
@@ -202,37 +225,16 @@ func (r *queueRun) step() bool {
 // the scan loop's join/leave block verbatim.
 func (r *queueRun) lifecycle(i int, now float64) {
 	s := r.s
-	e := s.parts[i]
+	e := &s.parts[i]
 	if e.sess == nil {
-		id := e.p.Task.ID()
-		env, err := NewSimEnvironment(s.eng, e.p.Task)
-		if err != nil {
-			panic(fmt.Sprintf("testbed: join %q: %v", id, err))
-		}
-		sess, err := session.New(env, e.p.Controller, session.Config{
-			ID:       id,
-			Interval: e.interval,
-			Warmup:   s.Warmup,
-			Events:   r.sink,
-		})
-		if err != nil {
-			panic(fmt.Sprintf("testbed: session %q: %v", id, err))
-		}
-		e.sess = sess
-		end := r.until
-		if e.p.LeaveAt > 0 && e.p.LeaveAt < end {
-			end = e.p.LeaveAt
-		}
-		if remaining := end - now; remaining > 0 {
-			epochs := int(remaining/e.interval) + 2
-			r.tl.Throughput.Get(id).Grow(int(remaining/s.record) + 2)
-			r.tl.Concurrency.Get(id).Grow(epochs)
-			r.tl.Loss.Get(id).Grow(epochs)
+		s.join(e, &r.envs[i], &r.sessions[i], r.sink)
+		if s.recMode == RecordFull {
+			s.reserveSeries(r.tl, e, now, r.until)
 		}
 		r.link(int32(i))
-		sess.Start(now, e.p.Task.Setting())
+		e.sess.Start(now, e.p.Task.Setting())
 		if !r.exact {
-			r.hz.push(int32(2*i+1), sess.NextDeadline())
+			r.hz.push(int32(2*i+1), e.sess.NextDeadline())
 		}
 		if e.p.Task.Done() {
 			// Joined already drained (empty horizon): the scan loop's
@@ -256,7 +258,7 @@ func (r *queueRun) lifecycle(i int, now float64) {
 // leave removes part i's task and closes its session, dropping all of
 // its heap entries and its live-list node.
 func (r *queueRun) leave(i int, now float64) {
-	e := r.s.parts[i]
+	e := &r.s.parts[i]
 	r.s.eng.RemoveTask(e.p.Task.ID())
 	e.sess.Leave(now)
 	r.hz.remove(int32(2*i + 1))
@@ -266,7 +268,7 @@ func (r *queueRun) leave(i int, now float64) {
 
 // tickSession ticks part i's session and re-arms its deadline horizon.
 func (r *queueRun) tickSession(i int, now float64) {
-	e := r.s.parts[i]
+	e := &r.s.parts[i]
 	if e.sess == nil || e.sess.Finished() {
 		return
 	}

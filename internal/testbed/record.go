@@ -1,0 +1,100 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/transfer"
+)
+
+// RecordMode selects what a Scheduler run records. The default,
+// RecordFull, keeps the original behaviour: per-session trace.Series
+// for throughput, concurrency, and loss — O(sessions × samples) memory,
+// which is the right fidelity for the pinned reproduce experiments and
+// small fleets but dominates the footprint of a million-session run.
+// RecordAggregate drops the per-session timelines and instead streams
+// every throughput recording point into a caller-supplied Recorder
+// (constant space per session); RecordOff records nothing.
+//
+// The recording cadence is identical in every mode — nextRecord
+// boundaries still bound each macro-step — so the engine's stepping,
+// and therefore every simulated number, is bitwise independent of the
+// mode. Only what gets written down differs.
+type RecordMode uint8
+
+const (
+	// RecordFull records per-session throughput/concurrency/loss
+	// series and completion times into the run's Timeline.
+	RecordFull RecordMode = iota
+	// RecordAggregate streams throughput recording points into the
+	// attached Recorder; the returned Timeline stays empty.
+	RecordAggregate
+	// RecordOff records nothing; the returned Timeline stays empty.
+	RecordOff
+)
+
+// String implements fmt.Stringer.
+func (m RecordMode) String() string {
+	switch m {
+	case RecordFull:
+		return "full"
+	case RecordAggregate:
+		return "aggregate"
+	case RecordOff:
+		return "off"
+	default:
+		return fmt.Sprintf("RecordMode(%d)", uint8(m))
+	}
+}
+
+// ParseRecordMode parses "full", "aggregate", or "off".
+func ParseRecordMode(s string) (RecordMode, error) {
+	switch s {
+	case "full":
+		return RecordFull, nil
+	case "aggregate":
+		return RecordAggregate, nil
+	case "off":
+		return RecordOff, nil
+	default:
+		return RecordFull, fmt.Errorf("testbed: unknown record mode %q (want full, aggregate, or off)", s)
+	}
+}
+
+// Recorder consumes streaming throughput recordings in RecordAggregate
+// mode. Attach is called once per session at join time and returns the
+// handle Record is keyed by; Record receives the session's current
+// rate (Gbps) at each recording boundary while the session is live —
+// the same (time, value) points RecordFull would append to the
+// session's throughput series.
+//
+// Sharded runs call Attach and Record concurrently from shard worker
+// goroutines, but never for the same session from two goroutines;
+// implementations must be safe under that access pattern (e.g. flat
+// per-session slots, no shared mutable lookup state in Attach).
+type Recorder interface {
+	Attach(id string) int32
+	Record(handle int32, t, gbps float64)
+}
+
+// SetRecording selects the scheduler's record mode. A Recorder is
+// required for RecordAggregate and ignored otherwise. Must be called
+// before Run.
+func (s *Scheduler) SetRecording(mode RecordMode, rec Recorder) {
+	if mode == RecordAggregate && rec == nil {
+		panic("testbed: RecordAggregate requires a Recorder")
+	}
+	s.recMode = mode
+	s.recorder = rec
+}
+
+// initSimEnvironment is NewSimEnvironment constructing in place: it
+// registers task with eng and overwrites *e. Fleet-scale runs carve
+// their environments out of one flat slab instead of a million heap
+// objects.
+func initSimEnvironment(e *SimEnvironment, eng *Engine, task *transfer.Task) error {
+	if err := eng.AddTask(task); err != nil {
+		return err
+	}
+	*e = SimEnvironment{eng: eng, task: task}
+	return nil
+}

@@ -96,12 +96,17 @@ func (tl *Timeline) Sink() session.Sink {
 // consuming the sessions' event streams.
 type Scheduler struct {
 	eng     *Engine
-	parts   []*schedEntry
+	parts   []schedEntry
 	byID    map[string]int // task ID → index in parts
 	record  float64        // recording interval, seconds
 	verbose func(format string, args ...any)
 	events  session.Sink // optional external event consumer
 	queue   bool         // event-queue orchestration (default); false = legacy scan loop
+
+	// recMode/recorder select what a run writes down (see RecordMode);
+	// the cadence — and therefore the simulation — is mode-invariant.
+	recMode  RecordMode
+	recorder Recorder
 
 	// Warmup is how long after a setting change the measurement window
 	// is discarded before metrics accumulate, excluding the TCP
@@ -114,7 +119,8 @@ type Scheduler struct {
 type schedEntry struct {
 	p        Participant
 	interval float64
-	sess     *session.Session // created at join time
+	sess     *session.Session // created at join time, arena-backed per run
+	rec      int32            // Recorder handle (RecordAggregate), set at join
 }
 
 // defaultEventQueue seeds every new scheduler's orchestration mode.
@@ -151,12 +157,29 @@ func (s *Scheduler) partIndex(id string) (int, bool) {
 		i, ok := s.byID[id]
 		return i, ok
 	}
-	for i, e := range s.parts {
-		if e.p.Task.ID() == id {
+	for i := range s.parts {
+		if s.parts[i].p.Task.ID() == id {
 			return i, true
 		}
 	}
 	return 0, false
+}
+
+// Reserve pre-sizes the participant table (and, past the smallFleet
+// threshold, the ID index) for n additions, so a million Adds do not
+// pay incremental growth copies.
+func (s *Scheduler) Reserve(n int) {
+	if extra := n - (cap(s.parts) - len(s.parts)); extra > 0 {
+		grown := make([]schedEntry, len(s.parts), len(s.parts)+n)
+		copy(grown, s.parts)
+		s.parts = grown
+	}
+	if s.byID == nil && len(s.parts)+n > smallFleet {
+		s.byID = make(map[string]int, len(s.parts)+n)
+		for i := range s.parts {
+			s.byID[s.parts[i].p.Task.ID()] = i
+		}
+	}
 }
 
 // SetLogf installs an optional progress logger.
@@ -188,14 +211,14 @@ func (s *Scheduler) Add(p Participant) error {
 	}
 	if s.byID == nil && len(s.parts)+1 > smallFleet {
 		s.byID = make(map[string]int, 2*len(s.parts))
-		for i, e := range s.parts {
-			s.byID[e.p.Task.ID()] = i
+		for i := range s.parts {
+			s.byID[s.parts[i].p.Task.ID()] = i
 		}
 	}
 	if s.byID != nil {
 		s.byID[p.Task.ID()] = len(s.parts)
 	}
-	s.parts = append(s.parts, &schedEntry{p: p, interval: interval})
+	s.parts = append(s.parts, schedEntry{p: p, interval: interval})
 	return nil
 }
 
@@ -252,17 +275,76 @@ type scanRun struct {
 	tl         *Timeline
 	sink       session.Sink
 	nextRecord float64
+
+	// sessions/envs are the run's arenas: two flat slabs indexed by
+	// part, instead of two heap objects per join.
+	sessions []session.Session
+	envs     []SimEnvironment
 }
 
 func (s *Scheduler) newScanRun(until, tick float64) *scanRun {
 	tl := &Timeline{Finished: make(map[string]float64)}
 	return &scanRun{
-		s:     s,
-		until: until,
-		tick:  tick,
-		exact: s.eng.Exact(),
-		tl:    tl,
-		sink:  session.MultiSink(tl.Sink(), s.logSink(), s.events),
+		s:        s,
+		until:    until,
+		tick:     tick,
+		exact:    s.eng.Exact(),
+		tl:       tl,
+		sink:     s.runSink(tl),
+		sessions: make([]session.Session, len(s.parts)),
+		envs:     make([]SimEnvironment, len(s.parts)),
+	}
+}
+
+// runSink assembles a run's session-event sink. Outside RecordFull the
+// timeline consumer is dropped — no per-session series accumulate —
+// while the progress log and any external sink still see every event.
+func (s *Scheduler) runSink(tl *Timeline) session.Sink {
+	if s.recMode == RecordFull {
+		return session.MultiSink(tl.Sink(), s.logSink(), s.events)
+	}
+	return session.MultiSink(s.logSink(), s.events)
+}
+
+// join constructs part e's environment and session in the supplied
+// arena slots and attaches the aggregate recorder — the construction
+// half of a join, shared verbatim by the scan and queue orchestrators.
+// The caller wires the session into its own bookkeeping and calls
+// Start.
+func (s *Scheduler) join(e *schedEntry, env *SimEnvironment, sess *session.Session, sink session.Sink) {
+	id := e.p.Task.ID()
+	if err := initSimEnvironment(env, s.eng, e.p.Task); err != nil {
+		panic(fmt.Sprintf("testbed: join %q: %v", id, err))
+	}
+	if err := session.Init(sess, env, e.p.Controller, session.Config{
+		ID:       id,
+		Interval: e.interval,
+		Warmup:   s.Warmup,
+		Events:   sink,
+	}); err != nil {
+		panic(fmt.Sprintf("testbed: session %q: %v", id, err))
+	}
+	e.sess = sess
+	if s.recMode == RecordAggregate {
+		e.rec = s.recorder.Attach(id)
+	}
+}
+
+// reserveSeries pre-sizes a joining participant's timeline series for
+// the remaining horizon (RecordFull only): one throughput point per
+// recording interval and one concurrency/loss point per decision
+// epoch, so the run loop's appends never reallocate.
+func (s *Scheduler) reserveSeries(tl *Timeline, e *schedEntry, now, until float64) {
+	end := until
+	if e.p.LeaveAt > 0 && e.p.LeaveAt < end {
+		end = e.p.LeaveAt
+	}
+	if remaining := end - now; remaining > 0 {
+		id := e.p.Task.ID()
+		epochs := int(remaining/e.interval) + 2
+		tl.Throughput.Get(id).Grow(int(remaining/s.record) + 2)
+		tl.Concurrency.Get(id).Grow(epochs)
+		tl.Loss.Get(id).Grow(epochs)
 	}
 }
 
@@ -276,42 +358,22 @@ func (r *scanRun) step() bool {
 	now := s.eng.Now()
 
 	// Joins and leaves.
-	for _, e := range s.parts {
-		id := e.p.Task.ID()
+	for i := range s.parts {
+		e := &s.parts[i]
 		if e.sess == nil && now >= e.p.JoinAt {
-			env, err := NewSimEnvironment(s.eng, e.p.Task)
-			if err != nil {
-				panic(fmt.Sprintf("testbed: join %q: %v", id, err))
-			}
-			sess, err := session.New(env, e.p.Controller, session.Config{
-				ID:       id,
-				Interval: e.interval,
-				Warmup:   s.Warmup,
-				Events:   r.sink,
-			})
-			if err != nil {
-				panic(fmt.Sprintf("testbed: session %q: %v", id, err))
-			}
-			e.sess = sess
+			s.join(e, &r.envs[i], &r.sessions[i], r.sink)
 			// The horizon fixes how many points this session can
 			// record: one throughput sample per recording interval
 			// and one concurrency/loss point per decision epoch.
 			// Reserving them now keeps the append path in the run
 			// loop allocation-free.
-			end := r.until
-			if e.p.LeaveAt > 0 && e.p.LeaveAt < end {
-				end = e.p.LeaveAt
+			if s.recMode == RecordFull {
+				s.reserveSeries(r.tl, e, now, r.until)
 			}
-			if remaining := end - now; remaining > 0 {
-				epochs := int(remaining/e.interval) + 2
-				r.tl.Throughput.Get(id).Grow(int(remaining/s.record) + 2)
-				r.tl.Concurrency.Get(id).Grow(epochs)
-				r.tl.Loss.Get(id).Grow(epochs)
-			}
-			sess.Start(now, e.p.Task.Setting())
+			e.sess.Start(now, e.p.Task.Setting())
 		}
 		if e.sess != nil && !e.sess.Finished() && e.p.LeaveAt > 0 && now >= e.p.LeaveAt {
-			s.eng.RemoveTask(id)
+			s.eng.RemoveTask(e.p.Task.ID())
 			e.sess.Leave(now)
 		}
 	}
@@ -319,7 +381,8 @@ func (r *scanRun) step() bool {
 	// Decision epochs and warm-up expiry, owned by each session. A
 	// Tick before the session's deadline is a no-op by construction,
 	// so the batched path skips the call entirely.
-	for _, e := range s.parts {
+	for i := range s.parts {
+		e := &s.parts[i]
 		if e.sess == nil || e.sess.Finished() {
 			continue
 		}
@@ -338,19 +401,32 @@ func (r *scanRun) step() bool {
 	}
 
 	// Completion bookkeeping.
-	for _, e := range s.parts {
+	for i := range s.parts {
+		e := &s.parts[i]
 		if e.sess != nil && !e.sess.Finished() && e.p.Task.Done() {
 			s.eng.RemoveTask(e.p.Task.ID())
 			e.sess.Finish(s.eng.Now())
 		}
 	}
 
-	// Recording.
+	// Recording. The boundary advances in every mode — it bounds the
+	// macro-step sizing above — only what gets written differs.
 	if s.eng.Now() >= r.nextRecord {
-		for _, e := range s.parts {
-			if e.sess != nil && !e.sess.Finished() {
-				id := e.p.Task.ID()
-				r.tl.Throughput.Append(id, s.eng.Now(), s.eng.CurrentRate(id)/1e9)
+		switch s.recMode {
+		case RecordFull:
+			for i := range s.parts {
+				e := &s.parts[i]
+				if e.sess != nil && !e.sess.Finished() {
+					id := e.p.Task.ID()
+					r.tl.Throughput.Append(id, s.eng.Now(), s.eng.CurrentRate(id)/1e9)
+				}
+			}
+		case RecordAggregate:
+			for i := range s.parts {
+				e := &s.parts[i]
+				if e.sess != nil && !e.sess.Finished() {
+					s.recorder.Record(e.rec, s.eng.Now(), s.eng.CurrentRate(e.p.Task.ID())/1e9)
+				}
 			}
 		}
 		r.nextRecord = s.eng.Now() + s.record
@@ -372,7 +448,8 @@ func (r *scanRun) step() bool {
 // tick), never change results.
 func (s *Scheduler) batchTicks(now, until, tick, nextRecord float64) int {
 	h := s.eng.NextEvent()
-	for _, e := range s.parts {
+	for i := range s.parts {
+		e := &s.parts[i]
 		if e.sess == nil {
 			if e.p.JoinAt < h {
 				h = e.p.JoinAt

@@ -43,6 +43,12 @@ type ShardSet struct {
 	logf    func(format string, args ...any)
 	workers int
 
+	// recMode/recorder are forwarded to every shard scheduler. The
+	// Recorder sees concurrent Attach/Record calls from shard worker
+	// goroutines (never for the same session); see Recorder.
+	recMode  RecordMode
+	recorder Recorder
+
 	// Warmup is forwarded to every shard scheduler (see
 	// Scheduler.Warmup). Default 1 s.
 	Warmup float64
@@ -85,6 +91,16 @@ func (ss *ShardSet) SetEventSink(sink session.Sink) { ss.events = sink }
 // SetLogf installs an optional progress logger, fed from the merged
 // event stream (join/leave/finish lines in merged order).
 func (ss *ShardSet) SetLogf(f func(format string, args ...any)) { ss.logf = f }
+
+// SetRecording selects every shard scheduler's record mode (see
+// Scheduler.SetRecording). Must be called before Run.
+func (ss *ShardSet) SetRecording(mode RecordMode, rec Recorder) {
+	if mode == RecordAggregate && rec == nil {
+		panic("testbed: RecordAggregate requires a Recorder")
+	}
+	ss.recMode = mode
+	ss.recorder = rec
+}
 
 // SetWorkers bounds how many shards step concurrently (the -shards
 // flag). Values ≤ 1 run the shards serially; 0 keeps the parallel
@@ -154,12 +170,14 @@ func (ss *ShardSet) build(sh *ShardSpec, sink session.Sink, logf func(format str
 	}
 	sched := NewScheduler(eng, ss.record)
 	sched.Warmup = ss.Warmup
+	sched.SetRecording(ss.recMode, ss.recorder)
 	if sink != nil {
 		sched.SetEventSink(sink)
 	}
 	if logf != nil {
 		sched.SetLogf(logf)
 	}
+	sched.Reserve(len(sh.Parts))
 	for _, p := range sh.Parts {
 		if err := sched.Add(p); err != nil {
 			return nil, fmt.Errorf("testbed: shard %s: %w", sh.Key, err)
