@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-raw memsmoke reproduce verify
+.PHONY: build test race vet bench bench-raw memsmoke loadsmoke reproduce verify
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,15 @@ FLEET_HEAP_BUDGET ?= 268435456
 
 memsmoke:
 	$(GO) run ./cmd/fleet -n 10000 -duration 120 -stagger 0.001 -record aggregate -seed 1 -maxheap $(FLEET_HEAP_BUDGET)
+
+# Serving-path smoke (run in CI): a race-enabled load-generator run
+# against the in-process web service. -smoke asserts nonzero
+# throughput, zero request errors, at least one coalesce hit (the
+# single-flight path actually engaged), and every duplicate group
+# resolving to exactly one simulation with bitwise-equal results.
+loadsmoke:
+	$(GO) run -race ./cmd/falconload -inproc -n 120 -c 16 -workers 2 \
+		-hot 0.3 -unique 0.1 -dup 0.6 -dupwidth 6 -sse 0.3 -smoke
 
 reproduce:
 	$(GO) run ./cmd/reproduce

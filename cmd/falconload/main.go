@@ -1,0 +1,144 @@
+// Command falconload load-tests the Falcon scenario web service. It
+// drives thousands of concurrent scenario submissions with a
+// configurable mixture — hot cache-hit, unique-document, and
+// duplicate-in-flight (single-flight coalescing) requests, followed by
+// JSON polling or SSE streaming — and reports requests/sec, p50/p99
+// completion latency, cache and coalesce hit rates, and the
+// coalescing invariants (exactly one simulation per duplicate group,
+// bitwise-equal results for every waiter).
+//
+// Target a running falconweb:
+//
+//	falconload -url http://127.0.0.1:8080 -n 2000 -c 64
+//
+// or spin up an in-process service on a loopback listener (the mode
+// simbench and `make loadsmoke` use, so the numbers measure the
+// serving path without network noise):
+//
+//	falconload -inproc -n 2000 -c 64 -hot 0.5 -unique 0.3 -dup 0.2
+//
+// With -smoke the run additionally asserts nonzero throughput, zero
+// errors, at least one coalesce hit, and the duplicate-group
+// invariants, exiting 1 otherwise — the CI load smoke.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/webservice"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of a running falconweb (empty = -inproc)")
+	inproc := flag.Bool("inproc", false, "serve an in-process webservice on a loopback listener and load-test that")
+	n := flag.Int("n", 1000, "total scenario submissions")
+	c := flag.Int("c", 32, "request-driving worker count")
+	hot := flag.Float64("hot", 0.5, "weight of hot (repeated, cache-hitting) requests")
+	unique := flag.Float64("unique", 0.3, "weight of unique-document requests (each simulates)")
+	dup := flag.Float64("dup", 0.2, "weight of duplicate-in-flight requests (coalescing groups)")
+	dupWidth := flag.Int("dupwidth", 8, "identical concurrent requests per duplicate group")
+	sse := flag.Float64("sse", 0.25, "fraction of requests followed over the SSE stream instead of polling")
+	testbedName := flag.String("testbed", "emulab", "scenario testbed preset")
+	simDuration := flag.Float64("simduration", 30, "simulated seconds per scenario")
+	workers := flag.Int("workers", 0, "in-process service worker-pool size (0 = one per CPU)")
+	storeCap := flag.Int("storecap", webservice.DefaultStoreCap, "in-process service store cap")
+	seed := flag.Int64("seed", 1, "workload seed")
+	jsonOut := flag.Bool("json", false, "write the result as JSON to stdout")
+	smoke := flag.Bool("smoke", false, "assert load-smoke invariants (nonzero throughput, no errors, ≥1 coalesce hit, dup groups single-run and bitwise-equal)")
+	flag.Parse()
+
+	base := *url
+	var shutdown func()
+	if base == "" || *inproc {
+		svc := webservice.NewWithOptions(webservice.Options{Workers: *workers, StoreCap: *storeCap})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal("listen: %v", err)
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "falconload: in-process service at %s\n", base)
+		shutdown = func() {
+			svc.BeginDrain()
+			srv.Close()
+			svc.Close()
+		}
+	}
+
+	opts := loadgen.Options{
+		BaseURL:         base,
+		Requests:        *n,
+		Concurrency:     *c,
+		HotWeight:       *hot,
+		UniqueWeight:    *unique,
+		DupWeight:       *dup,
+		DupWidth:        *dupWidth,
+		SSEFraction:     *sse,
+		Testbed:         *testbedName,
+		DurationSeconds: *simDuration,
+		Seed:            *seed,
+	}
+	fmt.Fprintf(os.Stderr, "falconload: %d requests, %d workers, mix hot=%.2f unique=%.2f dup=%.2f (width %d), sse=%.2f\n",
+		*n, *c, *hot, *unique, *dup, *dupWidth, *sse)
+	start := time.Now()
+	res, err := loadgen.Run(opts)
+	if shutdown != nil {
+		shutdown()
+	}
+	if err != nil {
+		fatal("run: %v (after %s)", err, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"falconload: %d requests in %.2fs = %.0f req/s | p50 %.2f ms p99 %.2f ms | cache %.1f%% coalesce %.1f%% simulated %d | dup groups %d single-run=%v bitwise-equal=%v | sse streams %d | errors %d\n",
+		res.Requests, res.Seconds, res.RequestsPerSec, res.P50Ms, res.P99Ms,
+		100*res.CacheHitRate, 100*res.CoalesceHitRate, res.Simulated,
+		res.DupGroups, res.DupSingleRun, res.DupBitwiseEqual, res.SSEStreams, res.Errors)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal("encode: %v", err)
+		}
+	}
+
+	if *smoke {
+		var failures []string
+		if res.RequestsPerSec <= 0 {
+			failures = append(failures, "requests/sec is zero")
+		}
+		if res.Errors > 0 {
+			failures = append(failures, fmt.Sprintf("%d request errors", res.Errors))
+		}
+		if res.CoalesceHits < 1 {
+			failures = append(failures, "no coalesce hits (single-flight never engaged)")
+		}
+		if res.DupGroups > 0 && !res.DupSingleRun {
+			failures = append(failures, "a duplicate group ran more than one simulation")
+		}
+		if res.DupGroups > 0 && !res.DupBitwiseEqual {
+			failures = append(failures, "duplicate-group results were not bitwise equal")
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "falconload: SMOKE FAIL: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "falconload: smoke ok")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "falconload: "+format+"\n", args...)
+	os.Exit(1)
+}

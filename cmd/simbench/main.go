@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/loadgen"
 	"repro/internal/scenario"
 )
 
@@ -96,6 +97,43 @@ type FleetTiming struct {
 	SweepMemoHitRate    float64 `json:"sweep_memo_hit_rate,omitempty"`
 }
 
+// ServiceTiming is the measured outcome of one falconload mixture run
+// against the in-process web service — the serving-path numbers
+// (throughput, latency percentiles, cache/coalesce hit rates) that sit
+// beside the simulator benchmarks in BENCH_sim.json. The dup-heavy
+// mixture doubles as the single-flight proof: every duplicate group
+// must resolve with exactly one simulation and byte-identical results
+// across members, checked per group by the load generator itself.
+type ServiceTiming struct {
+	// Mixture names the workload ("mixed", "dup-heavy").
+	Mixture string `json:"mixture"`
+	Args    string `json:"args"`
+	// Requests and Concurrency describe the issued workload.
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	Seconds     float64 `json:"seconds"`
+	// RequestsPerSec is completed scenario submissions per wall
+	// second (POST issued → terminal status observed).
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	// CacheHitRate and CoalesceHitRate partition the requests that
+	// never ran a simulation; Simulated counts the ones that did.
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CoalesceHitRate float64 `json:"coalesce_hit_rate"`
+	Simulated       int     `json:"simulated"`
+	// DupGroups / DupSingleRun / DupBitwiseEqual are the coalescing
+	// invariants: groups of identical concurrent submissions, each
+	// resolving to one simulation with bitwise-equal results.
+	DupGroups       int  `json:"dup_groups"`
+	DupSingleRun    bool `json:"dup_single_run"`
+	DupBitwiseEqual bool `json:"dup_bitwise_equal"`
+	// SSEStreams counts requests followed over the event stream
+	// rather than by polling.
+	SSEStreams int `json:"sse_streams"`
+	Errors     int `json:"errors"`
+}
+
 // Report is the BENCH_sim.json document.
 type Report struct {
 	// GeneratedAt is the RFC 3339 timestamp of the run.
@@ -106,6 +144,7 @@ type Report struct {
 	Benchmarks []Benchmark       `json:"benchmarks"`
 	Reproduce  []ReproduceTiming `json:"reproduce,omitempty"`
 	Fleet      []FleetTiming     `json:"fleet,omitempty"`
+	Service    []ServiceTiming   `json:"service,omitempty"`
 	// SpeedupExactOverBatched is exact seconds / batched seconds for
 	// the reproduce runs — the stepping layer's end-to-end win.
 	SpeedupExactOverBatched float64 `json:"speedup_exact_over_batched,omitempty"`
@@ -118,6 +157,7 @@ func main() {
 	skipReproduce := flag.Bool("skip-reproduce", false, "skip the end-to-end reproduce timings")
 	skipFleet := flag.Bool("skip-fleet", false, "skip the 10k-session fleet timing")
 	skipMillion := flag.Bool("skip-million", false, "skip the million-session fleet timings (tens of minutes of wall time)")
+	skipService := flag.Bool("skip-service", false, "skip the web-service load-generator timings")
 	flag.Parse()
 
 	report := Report{
@@ -166,6 +206,17 @@ func main() {
 			fatal("%v", err)
 		}
 		report.Fleet = fleets
+	}
+
+	if !*skipService {
+		services, err := timeService(*seed)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := checkRequiredService(services); err != nil {
+			fatal("%v", err)
+		}
+		report.Service = services
 	}
 
 	buf, err := json.MarshalIndent(report, "", "  ")
@@ -534,4 +585,113 @@ func timeReproduce(seed int64) ([]ReproduceTiming, error) {
 		})
 	}
 	return timings, nil
+}
+
+// timeService builds cmd/falconload and runs it in-process against
+// the web service for two mixtures: "mixed" (a realistic blend of hot
+// cache hits, unique documents, duplicate-in-flight groups, and SSE
+// followers) and "dup-heavy" (almost entirely wide duplicate groups —
+// the single-flight stress: N identical concurrent submissions must
+// produce exactly one simulation and N bitwise-equal answers).
+func timeService(seed int64) ([]ServiceTiming, error) {
+	dir, err := os.MkdirTemp("", "simbench-service")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "falconload")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/falconload").CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("build falconload: %v\n%s", err, out)
+	}
+
+	mixtures := []struct {
+		name string
+		args []string
+	}{
+		{name: "mixed", args: []string{
+			"-n", "2000", "-c", "64",
+			"-hot", "0.5", "-unique", "0.3", "-dup", "0.2", "-dupwidth", "8",
+			"-sse", "0.25",
+		}},
+		{name: "dup-heavy", args: []string{
+			"-n", "1000", "-c", "64",
+			"-hot", "0.1", "-unique", "0", "-dup", "0.9", "-dupwidth", "16",
+			"-sse", "0.25",
+		}},
+	}
+
+	var timings []ServiceTiming
+	for _, mix := range mixtures {
+		args := append([]string{"-inproc", "-json", "-seed", strconv.FormatInt(seed, 10)}, mix.args...)
+		fmt.Fprintf(os.Stderr, "simbench: timing falconload %s (%s)...\n", mix.name, strings.Join(mix.args, " "))
+		cmd := exec.Command(bin, args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("falconload %s: %v\n%s", mix.name, err, stderr.String())
+		}
+		var res loadgen.Result
+		if err := json.Unmarshal(bytes.TrimSpace(stdout.Bytes()), &res); err != nil {
+			return nil, fmt.Errorf("falconload %s: parse -json output: %v\n%s", mix.name, err, stdout.String())
+		}
+		var c int
+		for i, a := range mix.args {
+			if a == "-c" && i+1 < len(mix.args) {
+				c, _ = strconv.Atoi(mix.args[i+1])
+			}
+		}
+		timings = append(timings, ServiceTiming{
+			Mixture:         mix.name,
+			Args:            strings.Join(mix.args, " "),
+			Requests:        res.Requests,
+			Concurrency:     c,
+			Seconds:         res.Seconds,
+			RequestsPerSec:  res.RequestsPerSec,
+			P50Ms:           res.P50Ms,
+			P99Ms:           res.P99Ms,
+			CacheHitRate:    res.CacheHitRate,
+			CoalesceHitRate: res.CoalesceHitRate,
+			Simulated:       res.Simulated,
+			DupGroups:       res.DupGroups,
+			DupSingleRun:    res.DupSingleRun,
+			DupBitwiseEqual: res.DupBitwiseEqual,
+			SSEStreams:      res.SSEStreams,
+			Errors:          res.Errors,
+		})
+	}
+	return timings, nil
+}
+
+// checkRequiredService enforces the serving-path invariants on the
+// recorded mixtures: no request errors anywhere, and the dup-heavy
+// mixture proving single-flight — every duplicate group one
+// simulation, results bitwise-equal, and a nonzero coalesce rate.
+func checkRequiredService(timings []ServiceTiming) error {
+	var dupHeavy *ServiceTiming
+	for i := range timings {
+		tm := &timings[i]
+		if tm.Errors > 0 {
+			return fmt.Errorf("service mixture %s recorded %d request errors", tm.Mixture, tm.Errors)
+		}
+		if tm.RequestsPerSec <= 0 {
+			return fmt.Errorf("service mixture %s has no measured throughput", tm.Mixture)
+		}
+		if tm.Mixture == "dup-heavy" {
+			dupHeavy = tm
+		}
+	}
+	if dupHeavy == nil {
+		return fmt.Errorf("service timings missing the dup-heavy mixture")
+	}
+	if dupHeavy.DupGroups == 0 || !dupHeavy.DupSingleRun {
+		return fmt.Errorf("dup-heavy mixture: a duplicate group ran more than one simulation (groups=%d)", dupHeavy.DupGroups)
+	}
+	if !dupHeavy.DupBitwiseEqual {
+		return fmt.Errorf("dup-heavy mixture: duplicate-group results were not bitwise equal")
+	}
+	if dupHeavy.CoalesceHitRate <= 0 {
+		return fmt.Errorf("dup-heavy mixture: single-flight never engaged (coalesce rate 0)")
+	}
+	return nil
 }

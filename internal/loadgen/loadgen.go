@@ -1,0 +1,468 @@
+// Package loadgen drives the Falcon web service with configurable
+// mixtures of scenario requests and reports serving throughput — the
+// load half of ROADMAP item 4's "load-tested throughput". It speaks
+// only the public HTTP API, so it can target an in-process service
+// (cmd/falconload -inproc, used by simbench and the CI load smoke) or
+// any running falconweb.
+//
+// A workload is a deterministic sequence of request units drawn from
+// three kinds:
+//
+//   - hot: every request POSTs the same document, so after the first
+//     completes the rest are content-addressed cache hits.
+//   - unique: every request POSTs a document with a fresh seed, so
+//     each one simulates.
+//   - dup: a group of Width identical requests with a fresh seed
+//     POSTed concurrently, exercising single-flight coalescing — the
+//     group must resolve with exactly one simulation and bitwise-equal
+//     results for every member.
+//
+// Each request is followed to completion either by polling the JSON
+// endpoint or by holding the SSE event stream, per SSEFraction.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fastrand"
+)
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Requests is the total number of scenario submissions (a dup
+	// group of Width counts as Width requests).
+	Requests int
+	// Concurrency is the worker count driving request units. A dup
+	// group occupies one worker but issues its Width POSTs
+	// concurrently, so peak connection concurrency can exceed this.
+	Concurrency int
+	// HotWeight, UniqueWeight, and DupWeight set the request mixture;
+	// they are normalised over their sum (all zero = all hot).
+	HotWeight    float64
+	UniqueWeight float64
+	DupWeight    float64
+	// DupWidth is the size of each duplicate-in-flight group (min 2).
+	DupWidth int
+	// SSEFraction of requests follow their scenario over the SSE
+	// stream; the rest poll the JSON endpoint.
+	SSEFraction float64
+	// Testbed and DurationSeconds shape the simulated scenario
+	// (defaults "emulab", 30 s — the cheapest accepted simulation).
+	Testbed         string
+	DurationSeconds float64
+	// DupAgents is the agent count for duplicate-group scenarios
+	// (default 8). Duplicate groups deliberately use a heavier
+	// document than the hot/unique mixtures: the simulator is
+	// event-driven, so a single-agent scenario completes in ~1 ms of
+	// wall time and the leader can finish before concurrent waiters
+	// are even scheduled — a wide in-flight window needs event volume,
+	// not simulated seconds.
+	DupAgents int
+	// Seed makes the workload sequence and seed assignment
+	// deterministic.
+	Seed int64
+	// PollInterval is the JSON-poll cadence (default 2 ms).
+	PollInterval time.Duration
+}
+
+// Result is the measured outcome of one load run.
+type Result struct {
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	Seconds        float64 `json:"seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// P50Ms and P99Ms are percentiles of per-request completion
+	// latency: POST issued → terminal status observed.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// CacheHits and CoalesceHits count terminal responses whose
+	// cached/coalesced flags were set; Simulated counts the rest.
+	CacheHits       int     `json:"cache_hits"`
+	CoalesceHits    int     `json:"coalesce_hits"`
+	Simulated       int     `json:"simulated"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CoalesceHitRate float64 `json:"coalesce_hit_rate"`
+	// DupGroups is the number of duplicate-in-flight groups issued.
+	DupGroups int `json:"dup_groups"`
+	// DupSingleRun reports that every dup group resolved with exactly
+	// one simulated member (the rest coalesced or hit the cache).
+	DupSingleRun bool `json:"dup_single_run"`
+	// DupBitwiseEqual reports that within every dup group all members
+	// observed byte-identical results and equal Jain indices.
+	DupBitwiseEqual bool `json:"dup_bitwise_equal"`
+	// SSEStreams counts requests followed over the event stream.
+	SSEStreams int `json:"sse_streams"`
+}
+
+// scenarioStatus is the subset of the scenario view the generator
+// inspects. Results stays raw so bitwise comparison is exact.
+type scenarioStatus struct {
+	ID        string          `json:"id"`
+	Status    string          `json:"status"`
+	Error     string          `json:"error"`
+	Results   json.RawMessage `json:"results"`
+	JainIndex float64         `json:"jain_index"`
+	Cached    bool            `json:"cached"`
+	Coalesced bool            `json:"coalesced"`
+}
+
+type taskKind int
+
+const (
+	taskHot taskKind = iota
+	taskUnique
+	taskDup
+)
+
+type task struct {
+	kind taskKind
+	// seed is the scenario seed for unique requests and dup groups.
+	seed int64
+	// sse marks the request (or, for dup groups, the whole group) to
+	// follow via the event stream.
+	sse bool
+}
+
+// Run executes the workload and reports the measurements.
+func Run(o Options) (Result, error) {
+	if o.Requests < 1 {
+		return Result{}, fmt.Errorf("loadgen: requests must be ≥1")
+	}
+	if o.Concurrency < 1 {
+		o.Concurrency = 1
+	}
+	if o.DupWidth < 2 {
+		o.DupWidth = 2
+	}
+	if o.DupAgents == 0 {
+		o.DupAgents = 8
+	}
+	if o.Testbed == "" {
+		o.Testbed = "emulab"
+	}
+	if o.DurationSeconds == 0 {
+		o.DurationSeconds = 30
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 2 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	base := strings.TrimRight(o.BaseURL, "/")
+
+	tasks := buildTasks(o)
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.Concurrency*o.DupWidth + 16,
+		MaxIdleConnsPerHost: o.Concurrency*o.DupWidth + 16,
+	}}
+
+	g := &generator{opts: o, base: base, client: client}
+	queue := make(chan task)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range queue {
+				g.runTask(t)
+			}
+		}()
+	}
+	for _, t := range tasks {
+		queue <- t
+	}
+	close(queue)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	res := g.result
+	res.Seconds = elapsed
+	if elapsed > 0 {
+		res.RequestsPerSec = float64(res.Requests) / elapsed
+	}
+	if res.Requests > 0 {
+		res.CacheHitRate = float64(res.CacheHits) / float64(res.Requests)
+		res.CoalesceHitRate = float64(res.CoalesceHits) / float64(res.Requests)
+	}
+	res.P50Ms, res.P99Ms = percentiles(g.latencies)
+	res.DupSingleRun = res.DupGroups > 0 && g.dupMultiRun == 0
+	res.DupBitwiseEqual = res.DupGroups > 0 && g.dupMismatch == 0
+	return res, g.firstErr
+}
+
+// buildTasks lays out the deterministic workload: per-kind counts by
+// weight (dup rounded to whole groups), then a seeded shuffle so the
+// kinds interleave.
+func buildTasks(o Options) []task {
+	wsum := o.HotWeight + o.UniqueWeight + o.DupWeight
+	if wsum <= 0 {
+		wsum, o.HotWeight = 1, 1
+	}
+	nDupReq := int(float64(o.Requests) * o.DupWeight / wsum)
+	nGroups := nDupReq / o.DupWidth
+	nDupReq = nGroups * o.DupWidth
+	nUnique := int(float64(o.Requests) * o.UniqueWeight / wsum)
+	if nUnique > o.Requests-nDupReq {
+		nUnique = o.Requests - nDupReq
+	}
+	nHot := o.Requests - nDupReq - nUnique
+
+	rng := rand.New(fastrand.New(o.Seed))
+	var tasks []task
+	for i := 0; i < nHot; i++ {
+		tasks = append(tasks, task{kind: taskHot, seed: o.Seed})
+	}
+	for i := 0; i < nUnique; i++ {
+		tasks = append(tasks, task{kind: taskUnique, seed: o.Seed + 1000 + int64(i)})
+	}
+	for g := 0; g < nGroups; g++ {
+		tasks = append(tasks, task{kind: taskDup, seed: o.Seed + 500000 + int64(g)})
+	}
+	rng.Shuffle(len(tasks), func(i, j int) { tasks[i], tasks[j] = tasks[j], tasks[i] })
+	// Assign SSE follows on a deterministic stride over the shuffled
+	// order so both follow modes hit every kind.
+	if o.SSEFraction > 0 {
+		period := int(1 / o.SSEFraction)
+		if period < 1 {
+			period = 1
+		}
+		for i := range tasks {
+			if i%period == 0 {
+				tasks[i].sse = true
+			}
+		}
+	}
+	return tasks
+}
+
+// generator accumulates measurements across workers.
+type generator struct {
+	opts   Options
+	base   string
+	client *http.Client
+
+	mu          sync.Mutex
+	result      Result
+	latencies   []float64 // milliseconds
+	dupMultiRun int
+	dupMismatch int
+	firstErr    error
+}
+
+func (g *generator) body(seed int64) string {
+	return fmt.Sprintf(`{"testbed":%q,"algorithm":"gd","duration_seconds":%g,"seed":%d}`,
+		g.opts.Testbed, g.opts.DurationSeconds, seed)
+}
+
+// dupBody is the duplicate-group scenario: many agents over a long
+// horizon so the simulation's wall time comfortably exceeds request
+// scheduling skew and concurrent duplicates land inside the leader's
+// in-flight window.
+func (g *generator) dupBody(seed int64) string {
+	return fmt.Sprintf(`{"testbed":%q,"algorithm":"gd","agents":%d,"stagger_seconds":30,"duration_seconds":3600,"seed":%d}`,
+		g.opts.Testbed, g.opts.DupAgents, seed)
+}
+
+func (g *generator) runTask(t task) {
+	switch t.kind {
+	case taskDup:
+		g.runDupGroup(t)
+	default:
+		st, ms, err := g.oneRequest(g.body(t.seed), t.sse)
+		g.record(st, ms, err, t.sse)
+	}
+}
+
+// runDupGroup issues Width identical POSTs concurrently and, once all
+// resolve, checks the coalescing invariants: exactly one member
+// simulated, every member's results byte-identical.
+func (g *generator) runDupGroup(t task) {
+	width := g.opts.DupWidth
+	body := g.dupBody(t.seed)
+	sts := make([]*scenarioStatus, width)
+	var wg sync.WaitGroup
+	for i := 0; i < width; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, ms, err := g.oneRequest(body, t.sse)
+			g.record(st, ms, err, t.sse)
+			sts[i] = st
+		}(i)
+	}
+	wg.Wait()
+
+	simulated := 0
+	mismatch := false
+	var ref *scenarioStatus
+	for _, st := range sts {
+		if st == nil || st.Status != "done" {
+			mismatch = true
+			continue
+		}
+		if !st.Cached && !st.Coalesced {
+			simulated++
+		}
+		if ref == nil {
+			ref = st
+		} else if !bytes.Equal(ref.Results, st.Results) || ref.JainIndex != st.JainIndex {
+			mismatch = true
+		}
+	}
+	g.mu.Lock()
+	g.result.DupGroups++
+	if simulated != 1 {
+		g.dupMultiRun++
+	}
+	if mismatch {
+		g.dupMismatch++
+	}
+	g.mu.Unlock()
+}
+
+func (g *generator) record(st *scenarioStatus, ms float64, err error, sse bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.result.Requests++
+	if sse {
+		g.result.SSEStreams++
+	}
+	if err != nil {
+		g.result.Errors++
+		if g.firstErr == nil {
+			g.firstErr = err
+		}
+		return
+	}
+	g.latencies = append(g.latencies, ms)
+	switch {
+	case st.Cached:
+		g.result.CacheHits++
+	case st.Coalesced:
+		g.result.CoalesceHits++
+	default:
+		g.result.Simulated++
+	}
+}
+
+// oneRequest POSTs a scenario and follows it to a terminal status,
+// returning the final view and the completion latency in ms.
+func (g *generator) oneRequest(body string, sse bool) (*scenarioStatus, float64, error) {
+	start := time.Now()
+	resp, err := g.client.Post(g.base+"/api/scenarios", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	var created struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, 0, fmt.Errorf("POST /api/scenarios: status %d (%s)", resp.StatusCode, created.Error)
+	}
+	var st *scenarioStatus
+	if sse {
+		st, err = g.followSSE(created.ID)
+	} else {
+		st, err = g.poll(created.ID)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if st.Status == "failed" {
+		return nil, 0, fmt.Errorf("scenario %s failed: %s", created.ID, st.Error)
+	}
+	return st, float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+func (g *generator) poll(id string) (*scenarioStatus, error) {
+	url := g.base + "/api/scenarios/" + id
+	for {
+		resp, err := g.client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		var st scenarioStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if st.Status == "done" || st.Status == "failed" {
+			return &st, nil
+		}
+		time.Sleep(g.opts.PollInterval)
+	}
+}
+
+// followSSE holds the scenario's event stream until the terminal
+// "done" event and decodes its data as the final scenario view.
+func (g *generator) followSSE(id string) (*scenarioStatus, error) {
+	resp, err := g.client.Get(g.base + "/api/scenarios/" + id + "/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET events: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if event == "done" {
+				var st scenarioStatus
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+					return nil, err
+				}
+				return &st, nil
+			}
+			if event == "shutdown" {
+				return nil, fmt.Errorf("scenario %s: server drained mid-stream", id)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("scenario %s: event stream ended without done", id)
+}
+
+// percentiles returns the p50 and p99 of the latency sample.
+func percentiles(ms []float64) (p50, p99 float64) {
+	if len(ms) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.99)
+}

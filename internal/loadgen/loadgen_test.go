@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/webservice"
+)
+
+// TestLoadgenAgainstInProcessService drives a small mixed workload at
+// an httptest service and checks the measurement invariants: every
+// request accounted, no errors, nonzero throughput, the hot mixture
+// producing cache or coalesce hits, and every duplicate group
+// resolving to exactly one simulation with bitwise-equal results.
+func TestLoadgenAgainstInProcessService(t *testing.T) {
+	svc := webservice.NewWithOptions(webservice.Options{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.BeginDrain()
+		svc.Close()
+	}()
+
+	res, err := Run(Options{
+		BaseURL:     ts.URL,
+		Requests:    48,
+		Concurrency: 8,
+		HotWeight:   0.4, UniqueWeight: 0.2, DupWeight: 0.4,
+		DupWidth:    4,
+		SSEFraction: 0.3,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 48 {
+		t.Fatalf("requests = %d, want 48", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.RequestsPerSec <= 0 || res.Seconds <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms {
+		t.Fatalf("latency percentiles implausible: p50=%v p99=%v", res.P50Ms, res.P99Ms)
+	}
+	if res.CacheHits+res.CoalesceHits == 0 {
+		t.Fatal("hot mixture produced no cache or coalesce hits")
+	}
+	if res.Simulated == 0 {
+		t.Fatal("no request simulated")
+	}
+	if res.DupGroups == 0 {
+		t.Fatal("no duplicate groups issued")
+	}
+	if !res.DupSingleRun {
+		t.Fatal("a duplicate group ran more than one simulation")
+	}
+	if !res.DupBitwiseEqual {
+		t.Fatal("duplicate-group results not bitwise equal")
+	}
+	if res.SSEStreams == 0 {
+		t.Fatal("no request followed over SSE")
+	}
+	if res.CacheHits+res.CoalesceHits+res.Simulated != res.Requests {
+		t.Fatalf("accounting mismatch: %+v", res)
+	}
+}

@@ -3,6 +3,8 @@ package webservice
 import (
 	"container/list"
 	"fmt"
+
+	"repro/internal/testbed"
 )
 
 // defaultCacheSize bounds the number of completed scenarios kept for
@@ -29,7 +31,18 @@ func cacheKey(r ScenarioRequest) (string, error) {
 	return "doc|" + h, nil
 }
 
-// resultCache is an LRU map from cacheKey to a completed scenario.
+// resultValue is the immutable outcome of one completed simulation,
+// stored for content-addressed reuse: the published result fields plus
+// the timeline (for charts) and the original run's event feed (so
+// cache hits can replay progress and SSE).
+type resultValue struct {
+	results  []AgentResult
+	jain     float64
+	timeline *testbed.Timeline
+	progress *progressTracker
+}
+
+// resultCache is an LRU map from cacheKey to a completed result.
 // Callers synchronise access (the service holds its mutex around every
 // cache call).
 type resultCache struct {
@@ -40,7 +53,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	sc  *Scenario
+	val *resultValue
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -50,26 +63,26 @@ func newResultCache(capacity int) *resultCache {
 	return &resultCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
 }
 
-// get returns the cached completed scenario for key, refreshing its
+// get returns the cached completed result for key, refreshing its
 // recency.
-func (c *resultCache) get(key string) (*Scenario, bool) {
+func (c *resultCache) get(key string) (*resultValue, bool) {
 	el, ok := c.byKey[key]
 	if !ok {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).sc, true
+	return el.Value.(*cacheEntry).val, true
 }
 
-// put stores a completed scenario under key, evicting the least
+// put stores a completed result under key, evicting the least
 // recently used entry past capacity.
-func (c *resultCache) put(key string, sc *Scenario) {
+func (c *resultCache) put(key string, val *resultValue) {
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).sc = sc
+		el.Value.(*cacheEntry).val = val
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, sc: sc})
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
 	for c.order.Len() > c.cap {
 		el := c.order.Back()
 		c.order.Remove(el)

@@ -87,7 +87,7 @@ func TestScenarioResultCacheHit(t *testing.T) {
 // its capacity of distinct results and drops the least recently used.
 func TestResultCacheLRU(t *testing.T) {
 	c := newResultCache(2)
-	mk := func(seed int64) (string, *Scenario) {
+	mk := func(seed int64) (string, *resultValue) {
 		r := ScenarioRequest{Testbed: "emulab", Algorithm: "gd", Agents: 1,
 			StaggerSeconds: 120, DurationSeconds: 60, Seed: seed, MaxConcurrency: 64}
 		if err := r.normalise(); err != nil {
@@ -97,7 +97,7 @@ func TestResultCacheLRU(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return k, &Scenario{Request: r, Status: "done"}
+		return k, &resultValue{jain: float64(seed)}
 	}
 	k1, s1 := mk(1)
 	k2, s2 := mk(2)

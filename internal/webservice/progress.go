@@ -1,7 +1,6 @@
 package webservice
 
 import (
-	"encoding/json"
 	"net/http"
 	"sync"
 
@@ -26,53 +25,144 @@ type Progress struct {
 	// Cached reports that the scenario was answered from the
 	// content-addressed result cache: the agent view below is the
 	// final state of the original run, not a live stream.
-	Cached  bool            `json:"cached"`
-	SimTime float64         `json:"sim_time"`
-	Agents  []AgentProgress `json:"agents"`
+	Cached bool `json:"cached"`
+	// Coalesced reports that the scenario attached to another
+	// request's in-flight simulation; the agent view is that shared
+	// run's live stream.
+	Coalesced bool            `json:"coalesced,omitempty"`
+	SimTime   float64         `json:"sim_time"`
+	Agents    []AgentProgress `json:"agents"`
 }
 
-// progressTracker is a session event consumer that folds the stream
-// into a queryable per-agent view — the live counterpart of the
-// Timeline sink, for scenarios still in flight.
+// EventRecord is one entry of a scenario's event feed — the session
+// event stream re-expressed as a JSON-serialisable record. The polled
+// progress view is a pure fold over the record sequence (apply), and
+// the SSE endpoint streams the records themselves, so the two
+// endpoints agree event for event by construction.
+type EventRecord struct {
+	Kind  string  `json:"kind"`
+	Agent string  `json:"agent"`
+	Time  float64 `json:"time"`
+	// Gbps and Loss carry the observation for sample records.
+	Gbps float64 `json:"gbps,omitempty"`
+	Loss float64 `json:"loss,omitempty"`
+	// Concurrency carries the setting for join/decision/apply records.
+	Concurrency int `json:"concurrency,omitempty"`
+}
+
+// recordOf lowers a session event onto its feed record.
+func recordOf(e session.Event) EventRecord {
+	rec := EventRecord{Kind: string(e.Kind), Agent: e.Session, Time: e.Time}
+	switch e.Kind {
+	case session.Join, session.Decision, session.Apply:
+		rec.Concurrency = e.Setting.Concurrency
+	case session.Sample:
+		rec.Gbps = round3(e.Sample.Throughput / 1e9)
+		rec.Loss = round3(e.Sample.Loss)
+	}
+	return rec
+}
+
+// progressTracker is a session event consumer that retains the event
+// feed and folds it into a queryable per-agent view — the live
+// counterpart of the Timeline sink, for scenarios still in flight. SSE
+// clients replay the retained records and then follow live appends via
+// the broadcast channel.
 type progressTracker struct {
 	mu      sync.Mutex
 	simTime float64
 	order   []string
 	agents  map[string]*AgentProgress
+	records []EventRecord
+	// finished is set once the run's event stream is complete.
+	finished bool
+	// signal is closed and replaced on every append and on finish, so
+	// streaming clients can wait for feed growth without polling.
+	signal chan struct{}
 }
 
 func newProgressTracker() *progressTracker {
-	return &progressTracker{agents: make(map[string]*AgentProgress)}
+	return &progressTracker{agents: make(map[string]*AgentProgress), signal: make(chan struct{})}
 }
 
 // Sink returns the event consumer to install on the scheduler.
 func (p *progressTracker) Sink() session.Sink {
 	return func(e session.Event) {
+		rec := recordOf(e)
 		p.mu.Lock()
-		defer p.mu.Unlock()
-		a, ok := p.agents[e.Session]
-		if !ok {
-			a = &AgentProgress{ID: e.Session}
-			p.agents[e.Session] = a
-			p.order = append(p.order, e.Session)
-		}
-		if e.Time > p.simTime {
-			p.simTime = e.Time
-		}
-		switch e.Kind {
-		case session.Join:
-			a.Joined = true
-			a.Concurrency = e.Setting.Concurrency
-		case session.Sample:
-			a.Epochs++
-			a.LastGbps = round3(e.Sample.Throughput / 1e9)
-			a.LastLoss = round3(e.Sample.Loss)
-		case session.Decision:
-			a.Concurrency = e.Setting.Concurrency
-		case session.Finish, session.Leave:
-			a.Finished = true
-		}
+		p.records = append(p.records, rec)
+		p.apply(rec)
+		p.broadcastLocked()
+		p.mu.Unlock()
 	}
+}
+
+// apply folds one record into the per-agent view. Every consumer of
+// the feed — the polled snapshot and any client replaying the SSE
+// stream — sees the same fold, so the views cannot drift.
+func (p *progressTracker) apply(rec EventRecord) {
+	a, ok := p.agents[rec.Agent]
+	if !ok {
+		a = &AgentProgress{ID: rec.Agent}
+		p.agents[rec.Agent] = a
+		p.order = append(p.order, rec.Agent)
+	}
+	if rec.Time > p.simTime {
+		p.simTime = rec.Time
+	}
+	switch session.Kind(rec.Kind) {
+	case session.Join:
+		a.Joined = true
+		a.Concurrency = rec.Concurrency
+	case session.Sample:
+		a.Epochs++
+		a.LastGbps = rec.Gbps
+		a.LastLoss = rec.Loss
+	case session.Decision:
+		a.Concurrency = rec.Concurrency
+	case session.Finish, session.Leave:
+		a.Finished = true
+	}
+}
+
+// foldRecords replays a record sequence through a fresh fold — the
+// reference implementation the SSE transparency test holds the polled
+// snapshot to.
+func foldRecords(recs []EventRecord) (float64, []AgentProgress) {
+	t := newProgressTracker()
+	for _, r := range recs {
+		t.apply(r)
+	}
+	out := make([]AgentProgress, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, *t.agents[id])
+	}
+	return t.simTime, out
+}
+
+// finish marks the feed complete and wakes streaming clients.
+func (p *progressTracker) finish() {
+	p.mu.Lock()
+	p.finished = true
+	p.broadcastLocked()
+	p.mu.Unlock()
+}
+
+func (p *progressTracker) broadcastLocked() {
+	close(p.signal)
+	p.signal = make(chan struct{})
+}
+
+// tail returns a copy of the records from index from onward. When the
+// feed has not grown past from, it instead returns a channel that is
+// closed on the next append or on finish.
+func (p *progressTracker) tail(from int) (recs []EventRecord, finished bool, wait <-chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.records) > from {
+		return append([]EventRecord(nil), p.records[from:]...), p.finished, nil
+	}
+	return nil, p.finished, p.signal
 }
 
 // snapshot returns the agents in join order.
@@ -88,23 +178,23 @@ func (p *progressTracker) snapshot() (float64, []AgentProgress) {
 
 // handleProgress serves the live view of a scenario: its status plus
 // per-agent epoch counts and last-sample metrics, available while the
-// run is still in progress (unlike results and charts).
+// run is still in progress (unlike results and charts). The state read
+// is a lock-free snapshot load; only the tracker fold takes its own
+// (per-scenario) lock.
 func (s *Service) handleProgress(w http.ResponseWriter, r *http.Request) {
 	sc := s.lookup(r.PathValue("id"))
 	if sc == nil {
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.Lock()
-	status := sc.Status
-	cached := sc.Cached
-	tracker := sc.progress
-	s.mu.Unlock()
+	st := sc.snap()
 	var simTime float64
 	var agents []AgentProgress
-	if tracker != nil {
-		simTime, agents = tracker.snapshot()
+	if sc.progress != nil {
+		simTime, agents = sc.progress.snapshot()
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(Progress{Status: status, Cached: cached, SimTime: simTime, Agents: agents})
+	writeJSON(w, http.StatusOK, Progress{
+		Status: st.Status, Cached: st.Cached, Coalesced: st.Coalesced,
+		SimTime: simTime, Agents: agents,
+	})
 }

@@ -34,25 +34,40 @@ func postScenario(t *testing.T, base string, body string) (int, map[string]strin
 	return resp.StatusCode, out
 }
 
+func getScenario(t *testing.T, base, id string) (int, *scenarioView) {
+	t.Helper()
+	resp, err := http.Get(base + "/api/scenarios/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sc scenarioView
+	json.NewDecoder(resp.Body).Decode(&sc)
+	return resp.StatusCode, &sc
+}
+
 // waitDone polls until the scenario finishes.
-func waitDone(t *testing.T, base, id string) *Scenario {
+func waitDone(t *testing.T, base, id string) *scenarioView {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(base + "/api/scenarios/" + id)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var sc Scenario
-		json.NewDecoder(resp.Body).Decode(&sc)
-		resp.Body.Close()
+		_, sc := getScenario(t, base, id)
 		if sc.Status == "done" || sc.Status == "failed" {
-			return &sc
+			return sc
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
 	t.Fatal("scenario did not finish in 30s")
 	return nil
+}
+
+// markDone publishes a terminal state on a scenario from a swapped-in
+// test runFn, standing in for a finished simulation.
+func markDone(sc *Scenario) {
+	st := *sc.snap()
+	st.Status = "done"
+	sc.progress.finish()
+	sc.publish(st)
 }
 
 func TestScenarioLifecycle(t *testing.T) {
@@ -112,18 +127,18 @@ func TestScenarioSubmissionsQueue(t *testing.T) {
 	svc.runFn = func(sc *Scenario) {
 		started <- sc.ID
 		<-release
-		svc.mu.Lock()
-		sc.Status = "done"
-		svc.mu.Unlock()
+		markDone(sc)
 	}
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
+	// Distinct seeds so the two submissions are distinct content
+	// addresses (identical ones would coalesce, not queue).
 	code, first := postScenario(t, ts.URL, `{"testbed":"emulab"}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("first submission status = %d, want 202", code)
 	}
-	code, second := postScenario(t, ts.URL, `{"testbed":"emulab"}`)
+	code, second := postScenario(t, ts.URL, `{"testbed":"emulab","seed":2}`)
 	if code != http.StatusAccepted {
 		t.Fatalf("second submission status = %d, want 202 (queueing must not reject)", code)
 	}
@@ -140,9 +155,7 @@ func TestScenarioSubmissionsQueue(t *testing.T) {
 	default:
 	}
 	status := func(id string) string {
-		svc.mu.Lock()
-		defer svc.mu.Unlock()
-		return svc.store[id].Status
+		return svc.lookup(id).snap().Status
 	}
 	if st := status(second["id"]); st != "queued" {
 		t.Fatalf("second scenario status = %q, want queued", st)
@@ -204,14 +217,23 @@ func TestChartEndpoints(t *testing.T) {
 }
 
 func TestChartBeforeDoneConflicts(t *testing.T) {
-	svc, _ := startService(t)
-	// Insert a running scenario directly to avoid racing the runner.
-	svc.mu.Lock()
-	svc.store["sX"] = &Scenario{ID: "sX", Status: "running"}
-	svc.mu.Unlock()
+	svc := NewWithLimit(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	svc.runFn = func(sc *Scenario) {
+		close(started)
+		<-release
+		markDone(sc)
+	}
 	ts := httptest.NewServer(svc.Handler())
-	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/api/scenarios/sX/throughput.svg")
+	defer func() {
+		close(release)
+		ts.Close()
+		svc.Close()
+	}()
+	_, out := postScenario(t, ts.URL, `{"testbed":"emulab"}`)
+	<-started
+	resp, err := http.Get(ts.URL + "/api/scenarios/" + out["id"] + "/throughput.svg")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,19 +255,32 @@ func TestUnknownScenario404(t *testing.T) {
 	}
 }
 
+// TestListScenarios pins the listing contract: every retained scenario
+// appears exactly once, ordered deterministically by ID, and the
+// response decodes as the same view the get endpoint serves.
 func TestListScenarios(t *testing.T) {
 	_, ts := startService(t)
-	postScenario(t, ts.URL, `{"testbed":"emulab","duration_seconds":60}`)
-	postScenario(t, ts.URL, `{"testbed":"emulab","duration_seconds":60}`)
+	// Distinct seeds: three distinct simulations.
+	for seed := 1; seed <= 3; seed++ {
+		postScenario(t, ts.URL, fmt.Sprintf(`{"testbed":"emulab","duration_seconds":60,"seed":%d}`, seed))
+	}
 	resp, err := http.Get(ts.URL + "/api/scenarios")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var list []Scenario
-	json.NewDecoder(resp.Body).Decode(&list)
-	if len(list) != 2 {
-		t.Fatalf("list has %d entries, want 2", len(list))
+	var list []scenarioView
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("list has %d entries, want 3", len(list))
+	}
+	for i, sc := range list {
+		want := fmt.Sprintf("s%04d", i+1)
+		if sc.ID != want {
+			t.Fatalf("list[%d].ID = %q, want %q (ID-ordered listing)", i, sc.ID, want)
+		}
 	}
 }
 
@@ -303,5 +338,116 @@ func TestProgressEndpoint(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusNotFound {
 		t.Fatalf("ghost progress status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestRound3 pins half-away-from-zero rounding to three decimals. The
+// seed implementation truncated toward zero after adding 0.5, so every
+// negative value mis-rounded (e.g. -0.0015 → 0.001 instead of -0.002).
+func TestRound3(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{0.0004, 0},
+		{0.0005, 0.001},
+		{0.0014, 0.001},
+		{0.0015, 0.002},
+		{1.23456, 1.235},
+		{9.7195, 9.72},
+		{-0.0004, 0},
+		{-0.0005, -0.001},
+		{-0.0015, -0.002},
+		{-1.23456, -1.235},
+		{1234.5675, 1234.568},
+	}
+	for _, c := range cases {
+		if got := round3(c.in); got != c.want {
+			t.Errorf("round3(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestStoreEviction pins the bounded store: past the cap the oldest
+// completed scenarios are evicted (404 afterwards), while queued and
+// running scenarios are pinned even when the store overflows.
+func TestStoreEviction(t *testing.T) {
+	svc := NewWithOptions(Options{Workers: 1, StoreCap: 3})
+	release := make(chan struct{})
+	started := make(chan string, 8)
+	svc.runFn = func(sc *Scenario) {
+		started <- sc.ID
+		<-release
+		markDone(sc)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+
+	// First submission occupies the single worker and stays "running"
+	// (pinned). It must survive every later eviction.
+	_, pinned := postScenario(t, ts.URL, `{"testbed":"emulab","seed":100}`)
+	<-started
+
+	// Five more distinct submissions: all queue behind the blocked
+	// worker, so with a cap of 3 the store overflows with only pinned
+	// (queued/running) scenarios — nothing may be evicted yet.
+	var ids []string
+	for seed := 101; seed <= 105; seed++ {
+		_, out := postScenario(t, ts.URL, fmt.Sprintf(`{"testbed":"emulab","seed":%d}`, seed))
+		ids = append(ids, out["id"])
+	}
+	if code, _ := getScenario(t, ts.URL, pinned["id"]); code != http.StatusOK {
+		t.Fatalf("running scenario evicted while pinned (status %d)", code)
+	}
+	for _, id := range ids {
+		if code, _ := getScenario(t, ts.URL, id); code != http.StatusOK {
+			t.Fatalf("queued scenario %s evicted while pinned (status %d)", id, code)
+		}
+	}
+
+	// Release the workers: all six complete, and subsequent insertions
+	// trim the store back to the cap in creation order.
+	close(release)
+	for _, id := range append([]string{pinned["id"]}, ids...) {
+		waitDone(t, ts.URL, id)
+	}
+	// One more completed submission triggers eviction of the oldest
+	// done scenarios down to the cap.
+	_, last := postScenario(t, ts.URL, `{"testbed":"emulab","seed":200}`)
+	waitDone(t, ts.URL, last["id"])
+
+	svc.mu.Lock()
+	n := len(svc.order)
+	svc.mu.Unlock()
+	if n > 3 {
+		t.Fatalf("store holds %d scenarios, want ≤ cap 3", n)
+	}
+	// The oldest (first) scenario must be gone, the newest present.
+	if code, _ := getScenario(t, ts.URL, pinned["id"]); code != http.StatusNotFound {
+		t.Fatalf("oldest completed scenario still present (status %d)", code)
+	}
+	if code, _ := getScenario(t, ts.URL, last["id"]); code != http.StatusOK {
+		t.Fatalf("newest scenario missing (status %d)", code)
+	}
+	if got := svc.met.evictions.Load(); got == 0 {
+		t.Fatal("eviction counter did not advance")
+	}
+}
+
+// TestDrainRefusesNewScenarios: after BeginDrain the create endpoint
+// answers 503 while reads keep working.
+func TestDrainRefusesNewScenarios(t *testing.T) {
+	svc, ts := startService(t)
+	_, out := postScenario(t, ts.URL, `{"testbed":"emulab","duration_seconds":60}`)
+	waitDone(t, ts.URL, out["id"])
+
+	svc.BeginDrain()
+	code, body := postScenario(t, ts.URL, `{"testbed":"emulab","seed":9}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("create during drain: status %d (%v), want 503", code, body)
+	}
+	if code, sc := getScenario(t, ts.URL, out["id"]); code != http.StatusOK || sc.Status != "done" {
+		t.Fatalf("reads must keep working during drain: status %d, %+v", code, sc)
 	}
 }

@@ -1,0 +1,158 @@
+package webservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// TestCoalescedWaitersMatchSoloRun is the single-flight contract:
+// N identical submissions while the first is still in flight run
+// exactly one simulation, every waiter observes byte-identical results
+// (the same published Results/Jain as the leader), and those results
+// equal a solo run of the same request on a fresh service.
+func TestCoalescedWaitersMatchSoloRun(t *testing.T) {
+	const req = `{"testbed":"emulab","algorithm":"gd","duration_seconds":60}`
+
+	// Solo reference run on its own service.
+	soloSvc := New()
+	soloTS := httptest.NewServer(soloSvc.Handler())
+	defer func() {
+		soloTS.Close()
+		soloSvc.Close()
+	}()
+	_, soloOut := postScenario(t, soloTS.URL, req)
+	solo := waitDone(t, soloTS.URL, soloOut["id"])
+	if solo.Status != "done" || solo.Cached || solo.Coalesced {
+		t.Fatalf("solo run: %+v", solo)
+	}
+
+	// Coalescing service: gate the runner so the leader stays in
+	// flight while the waiters attach. Attachment is deterministic —
+	// submissions are sequential and the flight cannot resolve while
+	// the gate is closed.
+	svc := NewWithLimit(1)
+	gate := make(chan struct{})
+	runs := 0
+	svc.runFn = func(sc *Scenario) {
+		<-gate
+		runs++ // single worker: no data race
+		svc.run(sc)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+
+	const width = 5
+	var ids []string
+	for i := 0; i < width; i++ {
+		code, out := postScenario(t, ts.URL, req)
+		if code != 202 {
+			t.Fatalf("submission %d: status %d", i, code)
+		}
+		ids = append(ids, out["id"])
+	}
+	// Waiters report coalesced (and non-terminal) while the leader is
+	// still gated.
+	for _, id := range ids[1:] {
+		st := svc.lookup(id).snap()
+		if !st.Coalesced || st.terminal() {
+			t.Fatalf("waiter %s before resolution: %+v", id, st)
+		}
+	}
+	close(gate)
+
+	var views []*scenarioView
+	for _, id := range ids {
+		views = append(views, waitDone(t, ts.URL, id))
+	}
+	if runs != 1 {
+		t.Fatalf("simulation ran %d times for %d identical submissions, want exactly 1", runs, width)
+	}
+	if got := svc.met.coalesceHits.Load(); got != width-1 {
+		t.Fatalf("coalesce hits = %d, want %d", got, width-1)
+	}
+	if got := svc.met.simulations.Load(); got != 1 {
+		t.Fatalf("simulations counter = %d, want 1", got)
+	}
+
+	leader, waiters := views[0], views[1:]
+	if leader.Cached || leader.Coalesced {
+		t.Fatalf("leader flags: %+v", leader)
+	}
+	// The waiters' rendered result bytes must be identical to the
+	// leader's — they share the very same published Results slice.
+	leaderResults := resultsJSON(t, svc, ids[0])
+	for i, wv := range waiters {
+		if !wv.Coalesced || wv.Cached {
+			t.Fatalf("waiter %d flags: %+v", i, wv)
+		}
+		if got := resultsJSON(t, svc, ids[i+1]); got != leaderResults {
+			t.Fatalf("waiter %d results bytes %s ≠ leader %s", i, got, leaderResults)
+		}
+		if wv.JainIndex != leader.JainIndex {
+			t.Fatalf("waiter %d Jain %v ≠ leader %v", i, wv.JainIndex, leader.JainIndex)
+		}
+	}
+	// And the shared result equals the solo run bit for bit.
+	if !reflect.DeepEqual(leader.Results, solo.Results) || leader.JainIndex != solo.JainIndex {
+		t.Fatalf("coalesced result %+v (Jain %v) ≠ solo %+v (Jain %v)",
+			leader.Results, leader.JainIndex, solo.Results, solo.JainIndex)
+	}
+
+	// A submission arriving after resolution is a plain cache hit, not
+	// a coalesce.
+	_, lateOut := postScenario(t, ts.URL, req)
+	late := waitDone(t, ts.URL, lateOut["id"])
+	if !late.Cached || late.Coalesced {
+		t.Fatalf("post-resolution submission: %+v, want cached", late)
+	}
+}
+
+// resultsJSON extracts the raw rendered "results" bytes from a
+// scenario's published body.
+func resultsJSON(t *testing.T, svc *Service, id string) string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(svc.lookup(id).snap().body, &m); err != nil {
+		t.Fatal(err)
+	}
+	return string(m["results"])
+}
+
+// TestCoalescedFailurePropagates: when the leader fails, every waiter
+// observes the same failure instead of hanging or re-running.
+func TestCoalescedFailurePropagates(t *testing.T) {
+	svc := NewWithLimit(1)
+	gate := make(chan struct{})
+	svc.runFn = func(sc *Scenario) {
+		<-gate
+		svc.fail(sc, fmt.Errorf("injected failure"))
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, out := postScenario(t, ts.URL, `{"testbed":"emulab","seed":77}`)
+		ids = append(ids, out["id"])
+	}
+	close(gate)
+	for _, id := range ids {
+		sc := waitDone(t, ts.URL, id)
+		if sc.Status != "failed" || sc.Error != "injected failure" {
+			t.Fatalf("scenario %s: %+v, want propagated failure", id, sc)
+		}
+	}
+	// Failures must not be cached: a retry after resolution runs again.
+	if _, ok := svc.cache.get(svc.lookup(ids[0]).key); ok {
+		t.Fatal("failed result landed in the cache")
+	}
+}

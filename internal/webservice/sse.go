@@ -1,0 +1,90 @@
+package webservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// handleEvents streams a scenario's event feed as server-sent events
+// (GET /api/scenarios/{id}/events): the retained records are replayed,
+// live appends follow as they happen, and a terminal "done" event
+// carries the scenario's final published body before the stream
+// closes. Live clients hold one connection instead of polling the
+// progress endpoint; the record sequence is exactly the feed the
+// polled view folds, so the two endpoints agree event for event.
+//
+// Wire shape:
+//
+//	event: session
+//	data: {"kind":"sample","agent":"agent1","time":35,"gbps":0.097,...}
+//
+//	event: done
+//	data: {"id":"s0001","status":"done","results":[...],...}
+//
+// On service drain the stream ends with an empty "shutdown" event so
+// clients can distinguish a clean server shutdown from a drop.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sc := s.lookup(r.PathValue("id"))
+	if sc == nil {
+		http.NotFound(w, r)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	s.met.sseClients.Add(1)
+	defer s.met.sseClients.Add(-1)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	idx := 0
+	for {
+		recs, _, wait := sc.progress.tail(idx)
+		if len(recs) > 0 {
+			for _, rec := range recs {
+				data, err := json.Marshal(rec)
+				if err != nil {
+					return
+				}
+				if !writeSSE(w, "session", data) {
+					return
+				}
+			}
+			idx += len(recs)
+			flusher.Flush()
+			continue
+		}
+		// Feed is drained. A terminal snapshot means no further records
+		// can arrive (runs finish their feed before publishing, and
+		// waiters resolve after their leader), so the stream completes
+		// with the final body.
+		if st := sc.snap(); st.terminal() {
+			writeSSE(w, "done", st.body)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-wait:
+		case <-sc.done:
+		case <-r.Context().Done():
+			return
+		case <-s.draining:
+			writeSSE(w, "shutdown", []byte("{}"))
+			flusher.Flush()
+			return
+		}
+	}
+}
+
+// writeSSE emits one server-sent event, reporting write failure so the
+// stream loop can stop on a gone client.
+func writeSSE(w http.ResponseWriter, event string, data []byte) bool {
+	_, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err == nil
+}

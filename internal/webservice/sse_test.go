@@ -1,0 +1,249 @@
+package webservice
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes a stream until it closes, returning every event.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	name := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			events = append(events, sseEvent{name: name, data: strings.TrimPrefix(line, "data: ")})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read SSE: %v", err)
+	}
+	return events
+}
+
+// TestSSEStreamMatchesPolledProgress is the streaming transparency
+// contract: the SSE event feed, folded through the same fold as the
+// server's tracker, reproduces the polled progress endpoint exactly —
+// event for event, agent for agent — and the terminal "done" event
+// carries the same body as the scenario GET.
+func TestSSEStreamMatchesPolledProgress(t *testing.T) {
+	_, ts := startService(t)
+	_, out := postScenario(t, ts.URL, `{"testbed":"emulab","algorithm":"gd","duration_seconds":120}`)
+	id := out["id"]
+
+	// Open the stream while the scenario may still be running: the
+	// stream replays retained records and follows live ones, so the
+	// full feed arrives regardless of connect time.
+	resp, err := http.Get(ts.URL + "/api/scenarios/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+	events := readSSE(t, resp)
+	resp.Body.Close()
+
+	if len(events) < 2 {
+		t.Fatalf("stream carried %d events, want records plus done", len(events))
+	}
+	last := events[len(events)-1]
+	if last.name != "done" {
+		t.Fatalf("stream ended with %q, want done", last.name)
+	}
+
+	// The done payload is byte-identical to the scenario's GET body.
+	var streamed scenarioView
+	if err := json.Unmarshal([]byte(last.data), &streamed); err != nil {
+		t.Fatal(err)
+	}
+	getResp, err := http.Get(ts.URL + "/api/scenarios/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(body)); got != last.data {
+		t.Fatalf("done event body ≠ GET body:\n%s\nvs\n%s", last.data, got)
+	}
+
+	// Fold the streamed records; the result must equal the polled
+	// progress view field for field.
+	var recs []EventRecord
+	for _, e := range events[:len(events)-1] {
+		if e.name != "session" {
+			t.Fatalf("unexpected event %q before done", e.name)
+		}
+		var rec EventRecord
+		if err := json.Unmarshal([]byte(e.data), &rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	simTime, agents := foldRecords(recs)
+
+	pollResp, err := http.Get(ts.URL + "/api/scenarios/" + id + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var polled Progress
+	err = json.NewDecoder(pollResp.Body).Decode(&polled)
+	pollResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polled.SimTime != simTime {
+		t.Fatalf("folded sim_time %v ≠ polled %v", simTime, polled.SimTime)
+	}
+	if !reflect.DeepEqual(polled.Agents, agents) {
+		t.Fatalf("folded agents ≠ polled agents:\n%+v\nvs\n%+v", agents, polled.Agents)
+	}
+	if polled.Status != streamed.Status {
+		t.Fatalf("polled status %q ≠ streamed %q", polled.Status, streamed.Status)
+	}
+}
+
+// TestSSECachedScenarioReplays: a cache-hit scenario's stream replays
+// the original run's full feed and terminates with the hit's own done
+// body (cached flag set).
+func TestSSECachedScenarioReplays(t *testing.T) {
+	_, ts := startService(t)
+	req := `{"testbed":"emulab","algorithm":"gd","duration_seconds":60}`
+	_, first := postScenario(t, ts.URL, req)
+	waitDone(t, ts.URL, first["id"])
+	_, second := postScenario(t, ts.URL, req)
+	hit := waitDone(t, ts.URL, second["id"])
+	if !hit.Cached {
+		t.Fatal("second submission missed the cache")
+	}
+
+	stream := func(id string) []sseEvent {
+		resp, err := http.Get(ts.URL + "/api/scenarios/" + id + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return readSSE(t, resp)
+	}
+	orig, cached := stream(first["id"]), stream(second["id"])
+	if len(orig) != len(cached) {
+		t.Fatalf("cached stream has %d events, original %d", len(cached), len(orig))
+	}
+	// Identical record sequence (the shared feed), distinct done body.
+	for i := range orig[:len(orig)-1] {
+		if orig[i] != cached[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, orig[i], cached[i])
+		}
+	}
+	var done scenarioView
+	if err := json.Unmarshal([]byte(cached[len(cached)-1].data), &done); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Cached || done.ID != second["id"] {
+		t.Fatalf("cached done event: %+v", done)
+	}
+}
+
+// TestDrainClosesSSEClients: BeginDrain while clients hold streams on
+// a still-running scenario must terminate every stream promptly with a
+// shutdown event; the scenario itself keeps running and Close drains
+// it cleanly.
+func TestDrainClosesSSEClients(t *testing.T) {
+	svc := NewWithLimit(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	svc.runFn = func(sc *Scenario) {
+		close(started)
+		<-release
+		markDone(sc)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	_, out := postScenario(t, ts.URL, `{"testbed":"emulab"}`)
+	<-started
+
+	const clients = 3
+	type streamResult struct {
+		events []sseEvent
+	}
+	results := make(chan streamResult, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, err := http.Get(ts.URL + "/api/scenarios/" + out["id"] + "/events")
+			if err != nil {
+				results <- streamResult{}
+				return
+			}
+			defer resp.Body.Close()
+			// Parse without t: Fatal must not be called off the test
+			// goroutine.
+			var events []sseEvent
+			sc := bufio.NewScanner(resp.Body)
+			name := ""
+			for sc.Scan() {
+				line := sc.Text()
+				switch {
+				case strings.HasPrefix(line, "event: "):
+					name = strings.TrimPrefix(line, "event: ")
+				case strings.HasPrefix(line, "data: "):
+					events = append(events, sseEvent{name: name, data: strings.TrimPrefix(line, "data: ")})
+				}
+			}
+			results <- streamResult{events: events}
+		}()
+	}
+	// Let the clients attach (they block waiting for feed growth).
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.met.sseClients.Load() < clients {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d SSE clients attached", svc.met.sseClients.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	svc.BeginDrain()
+	for i := 0; i < clients; i++ {
+		select {
+		case r := <-results:
+			if len(r.events) == 0 || r.events[len(r.events)-1].name != "shutdown" {
+				t.Fatalf("client %d stream did not end with shutdown: %+v", i, r.events)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("SSE client still open 10s after BeginDrain")
+		}
+	}
+	if got := svc.met.sseClients.Load(); got != 0 {
+		t.Fatalf("sse client gauge = %d after drain, want 0", got)
+	}
+
+	// The running scenario was not killed by the drain: release it and
+	// the service closes cleanly.
+	close(release)
+	svc.Close()
+	if st := svc.lookup(out["id"]).snap(); st.Status != "done" {
+		t.Fatalf("scenario after drain+close: %q, want done", st.Status)
+	}
+}
